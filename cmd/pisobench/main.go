@@ -1,0 +1,115 @@
+// Pisobench regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablation studies, printing paper-style text
+// tables (or Markdown with -markdown). With -short it skips the
+// ablations.
+//
+// Usage:
+//
+//	pisobench [-short] [-markdown] [-only fig2|fig3|fig5|fig7|tab3|tab4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfiso/internal/experiment"
+	"perfiso/internal/stats"
+)
+
+func main() {
+	short := flag.Bool("short", false, "skip the ablation studies")
+	only := flag.String("only", "", "run a single experiment: fig2, fig3, fig5, fig7, tab3, tab4")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+	compare := flag.Bool("compare", false, "print only the paper-vs-measured comparison")
+	flag.Parse()
+
+	show := func(t *stats.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	if *compare {
+		show(experiment.RunComparison().Table())
+		return
+	}
+
+	if !*markdown {
+		printHeader()
+	}
+
+	want := func(id string) bool { return *only == "" || *only == id }
+
+	if want("fig2") || want("fig3") {
+		p := experiment.RunPmake8(experiment.Pmake8Options{})
+		if want("fig2") {
+			show(p.Fig2Table())
+			if !*markdown {
+				var labels []string
+				var vals []float64
+				for _, r := range p.Fig2Rows() {
+					labels = append(labels, r.Scheme.String()+" B", r.Scheme.String()+" U")
+					vals = append(vals, r.Balanced, r.Unbalanced)
+				}
+				fmt.Println(stats.Bars("", labels, vals, 40))
+			}
+		}
+		if want("fig3") {
+			show(p.Fig3Table())
+			if !*markdown {
+				var labels []string
+				var vals []float64
+				for _, r := range p.Fig3Rows() {
+					labels = append(labels, r.Scheme.String())
+					vals = append(vals, r.Heavy)
+				}
+				fmt.Println(stats.Bars("", labels, vals, 40))
+			}
+		}
+	}
+	if want("fig5") {
+		show(experiment.RunCPUIso(experiment.CPUIsoOptions{}).Table())
+	}
+	if want("fig7") {
+		show(experiment.RunMemIso(experiment.MemIsoOptions{}).Table())
+	}
+	if want("tab3") {
+		show(experiment.RunTable3(experiment.DiskOptions{}).Table())
+	}
+	if want("tab4") {
+		show(experiment.RunTable4(experiment.DiskOptions{}).Table())
+	}
+	if *only != "" {
+		return
+	}
+	if *short {
+		fmt.Fprintln(os.Stderr, "(-short: skipping ablations)")
+		return
+	}
+	show(experiment.RunAblationBWThreshold(nil).Table())
+	show(experiment.RunAblationReserve(nil).Table())
+	show(experiment.RunAblationInodeLock().Table())
+	show(experiment.RunAblationPageInsert().Table())
+	show(experiment.RunAblationRevocation().Table())
+	show(experiment.RunAblationAffinity().Table())
+	show(experiment.RunAblationGang().Table())
+	show(experiment.RunAblationNetwork().Table())
+	show(experiment.RunServerLatency().Table())
+}
+
+func printHeader() {
+	fmt.Println("perfiso evaluation — reproduction of Verghese, Gupta & Rosenblum,")
+	fmt.Println("\"Performance Isolation\", ASPLOS 1998. Table 1 machines:")
+	fmt.Println()
+	fmt.Println("  Pmake8:           8 CPUs, 44 MB, 8 fast disks; 8 SPUs, pmake jobs")
+	fmt.Println("  CPU isolation:    8 CPUs, 64 MB; Ocean vs 3x Flashlite + 3x VCS")
+	fmt.Println("  Memory isolation: 4 CPUs, 16 MB; pmake jobs under memory pressure")
+	fmt.Println("  Disk isolation:   2 CPUs, 44 MB, one shared HP 97560 (seek x1/2)")
+	fmt.Println()
+	fmt.Println("Table 2 schemes: SMP (unconstrained sharing), Quo (fixed quotas),")
+	fmt.Println("PIso (performance isolation). Normalized numbers use SMP = 100.")
+	fmt.Println()
+}

@@ -1,0 +1,67 @@
+package perfiso_test
+
+import (
+	"fmt"
+
+	"perfiso"
+)
+
+// Example shows the basic flow: build a machine, declare SPUs, attach a
+// workload, run, and read the result. The simulation is deterministic,
+// so the output is exact.
+func Example() {
+	sys := perfiso.New(perfiso.CPUIsolationMachine(), perfiso.PIso, perfiso.Options{})
+	alice := sys.NewSPU("alice", 1)
+	sys.NewSPU("bob", 1)
+	sys.Boot()
+
+	job := sys.Custom(alice, "script", []perfiso.Step{
+		perfiso.Touch{Pages: 10},
+		perfiso.Compute{D: 250 * perfiso.Millisecond},
+	})
+	sys.Run()
+	fmt.Printf("response: %s\n", job.ResponseTime())
+	// Output:
+	// response: 250ms
+}
+
+// ExampleSystem_Server runs an interactive service on an idle machine:
+// every request completes in exactly its service time.
+func ExampleSystem_Server() {
+	sys := perfiso.New(perfiso.CPUIsolationMachine(), perfiso.PIso, perfiso.Options{})
+	svc := sys.NewSPU("service", 1)
+	sys.Boot()
+
+	job := sys.Server(svc, "api", perfiso.ServerParams{
+		Requests:     10,
+		Interarrival: 20 * perfiso.Millisecond,
+		Service:      3 * perfiso.Millisecond,
+	})
+	sys.Run()
+	fmt.Printf("p50: %s  max: %s\n", job.LatencyQuantile(0.5), job.MaxLatency())
+	// Output:
+	// p50: 3ms  max: 3ms
+}
+
+// ExampleSystem_SetLendPreference shows §3.1's lending preference: an
+// SPU that lends its idle CPUs only to a chosen neighbour.
+func ExampleSystem_SetLendPreference() {
+	sys := perfiso.New(perfiso.CPUIsolationMachine(), perfiso.PIso, perfiso.Options{})
+	owner := sys.NewSPU("owner", 1)
+	friend := sys.NewSPU("friend", 1)
+	sys.SetLendPreference(owner, friend) // lend idle CPUs only to friend
+	sys.Boot()
+
+	// friend oversubscribes its own 4 CPUs with 8 equal threads; with
+	// owner's 4 idle CPUs on loan they run fully parallel.
+	var jobs []*perfiso.Process
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, sys.Custom(friend, "worker", []perfiso.Step{
+			perfiso.Compute{D: 100 * perfiso.Millisecond},
+		}))
+	}
+	sys.Run()
+	fmt.Printf("last worker done at %s\n", jobs[7].ResponseTime())
+	// Output:
+	// last worker done at 100ms
+}

@@ -1,0 +1,37 @@
+// Diskfairness demonstrates §4.5: a 500 KB copy and a 5 MB copy share
+// one HP 97560 disk. Under IRIX's position-only C-SCAN (Pos) the big
+// contiguous stream locks out the small one; blind round-robin (Iso)
+// fixes fairness but pays extra positioning latency; the paper's PIso
+// policy gets both: the small copy finishes first AND the disk keeps
+// its sequential efficiency.
+package main
+
+import (
+	"fmt"
+
+	"perfiso"
+)
+
+func main() {
+	fmt.Println("Big (5 MB) vs small (500 KB) copy sharing one HP 97560:")
+	fmt.Println()
+	fmt.Printf("%-6s %-12s %-12s %-14s\n", "policy", "small (s)", "big (s)", "avg pos (ms)")
+	for _, policy := range []string{"Pos", "Iso", "PIso"} {
+		sys := perfiso.New(perfiso.DiskIsolationMachine(), perfiso.PIso,
+			perfiso.Options{DiskSched: policy})
+		u1 := sys.NewSPU("small-user", 1)
+		u2 := sys.NewSPU("big-user", 1)
+		sys.SetAffinity(u1.ID(), 0)
+		sys.SetAffinity(u2.ID(), 0) // same disk: that's the point
+		sys.Boot()
+		big := sys.Copy(u2, "big", perfiso.DefaultCopy(5*1024*1024))
+		small := sys.Copy(u1, "small", perfiso.DefaultCopy(500*1024))
+		sys.Run()
+		_, _, pos := sys.DiskStats(0)
+		fmt.Printf("%-6s %-12.2f %-12.2f %-14.2f\n",
+			policy, small.ResponseTime().Seconds(), big.ResponseTime().Seconds(), pos*1000)
+	}
+	fmt.Println()
+	fmt.Println("Compare the paper's Table 4: Pos 0.93/0.81s, Iso 0.56/1.22s,")
+	fmt.Println("PIso 0.28/0.96s — the same ordering on our simulated disk.")
+}

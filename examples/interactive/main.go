@@ -1,0 +1,55 @@
+// Interactive demonstrates response-time isolation: an interactive
+// service shares the machine with a batch SPU running sixteen compute
+// hogs. Under SMP, request latencies balloon with the load. Under PIso
+// the service's own CPUs come back within one 10 ms clock tick; with
+// IPI revocation (§3.1's suggestion for "response time performance
+// isolation guarantees") they come back immediately and the tail
+// disappears.
+package main
+
+import (
+	"fmt"
+
+	"perfiso"
+)
+
+func run(scheme perfiso.Scheme, ipi bool) (mean, max perfiso.Time) {
+	sys := perfiso.New(perfiso.CPUIsolationMachine(), scheme, perfiso.Options{IPIRevoke: ipi})
+	svcSPU := sys.NewSPU("service", 1)
+	batchSPU := sys.NewSPU("batch", 1)
+	sys.Boot()
+
+	svc := sys.Server(svcSPU, "api", perfiso.DefaultServer())
+	for i := 0; i < 16; i++ {
+		sys.ComputeBound(batchSPU, fmt.Sprintf("batch-%d", i), perfiso.ComputeParams{
+			Total: 20 * perfiso.Second, Chunk: 100 * perfiso.Millisecond, WSSPages: 50,
+		})
+	}
+	sys.Run()
+	lat := svc.Latencies()
+	return perfiso.Time(lat.Mean() * float64(perfiso.Second)), svc.MaxLatency()
+}
+
+func main() {
+	fmt.Println("Interactive service (2 ms requests, one every 25 ms) sharing the")
+	fmt.Println("machine with 16 batch compute hogs:")
+	fmt.Println()
+	fmt.Printf("  %-12s %-14s %-14s\n", "config", "mean latency", "max latency")
+	configs := []struct {
+		name   string
+		scheme perfiso.Scheme
+		ipi    bool
+	}{
+		{"SMP", perfiso.SMP, false},
+		{"Quo", perfiso.Quo, false},
+		{"PIso (tick)", perfiso.PIso, false},
+		{"PIso (IPI)", perfiso.PIso, true},
+	}
+	for _, c := range configs {
+		mean, max := run(c.scheme, c.ipi)
+		fmt.Printf("  %-12s %-14s %-14s\n", c.name, mean, max)
+	}
+	fmt.Println()
+	fmt.Println("PIso bounds the tail at the <=10 ms revocation latency; IPI")
+	fmt.Println("revocation removes even that, as §3.1 predicts.")
+}

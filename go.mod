@@ -1,0 +1,3 @@
+module perfiso
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package bwmeter implements the decayed bandwidth-usage accounting of
+// §3.3: a rate is approximated by counting units transferred (sectors,
+// bytes) and decaying the count with a half-life (500 ms in the paper).
+// The disk scheduler and the network-bandwidth extension both build
+// their fairness criteria on it.
+package bwmeter
+
+import (
+	"math"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// DefaultHalfLife is the paper's decay period: the count halves every
+// 500 ms.
+const DefaultHalfLife = 500 * sim.Millisecond
+
+// Meter is one SPU's decayed usage count. The paper halves the count
+// periodically; we apply the equivalent continuous exponential decay
+// lazily at read time, which is deterministic and needs no ticker.
+type Meter struct {
+	value    float64
+	updated  sim.Time
+	halfLife sim.Time
+}
+
+// NewMeter returns a meter with the given half-life (DefaultHalfLife if
+// <= 0).
+func NewMeter(halfLife sim.Time) *Meter {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &Meter{halfLife: halfLife}
+}
+
+// HalfLife returns the decay half-life.
+func (m *Meter) HalfLife() sim.Time { return m.halfLife }
+
+func (m *Meter) decayTo(now sim.Time) {
+	if now <= m.updated {
+		return
+	}
+	dt := float64(now-m.updated) / float64(m.halfLife)
+	m.value *= math.Pow(0.5, dt)
+	if m.value < 1e-6 {
+		m.value = 0
+	}
+	m.updated = now
+}
+
+// Add charges units at time now.
+func (m *Meter) Add(now sim.Time, units float64) {
+	m.decayTo(now)
+	m.value += units
+}
+
+// Get returns the decayed count at time now.
+func (m *Meter) Get(now sim.Time) float64 {
+	m.decayTo(now)
+	return m.value
+}
+
+// Table tracks decayed usage and share weights per SPU for one device.
+type Table struct {
+	halfLife sim.Time
+	meters   map[core.SPUID]*Meter
+	shares   map[core.SPUID]float64
+}
+
+// NewTable creates a per-SPU usage table with the given half-life.
+func NewTable(halfLife sim.Time) *Table {
+	return &Table{
+		halfLife: halfLife,
+		meters:   make(map[core.SPUID]*Meter),
+		shares:   make(map[core.SPUID]float64),
+	}
+}
+
+func (t *Table) meter(id core.SPUID) *Meter {
+	m, ok := t.meters[id]
+	if !ok {
+		m = NewMeter(t.halfLife)
+		t.meters[id] = m
+	}
+	return m
+}
+
+// SetShare records an SPU's bandwidth share weight (non-positive
+// weights coerce to 1).
+func (t *Table) SetShare(id core.SPUID, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	t.shares[id] = w
+}
+
+// Share returns the share weight of an SPU (default 1).
+func (t *Table) Share(id core.SPUID) float64 {
+	if w, ok := t.shares[id]; ok {
+		return w
+	}
+	return 1
+}
+
+// Charge records units transferred for an SPU at time now.
+func (t *Table) Charge(now sim.Time, id core.SPUID, units int) {
+	t.meter(id).Add(now, float64(units))
+}
+
+// Relative returns the SPU's decayed usage divided by its share — the
+// quantity the fairness criterion compares ("current count of sectors /
+// bandwidth share", §3.3).
+func (t *Table) Relative(now sim.Time, id core.SPUID) float64 {
+	return t.meter(id).Get(now) / t.Share(id)
+}
+
+// MeanRelative returns the average relative usage across the given SPUs.
+func (t *Table) MeanRelative(now sim.Time, ids []core.SPUID) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, id := range ids {
+		sum += t.Relative(now, id)
+	}
+	return sum / float64(len(ids))
+}

@@ -1,0 +1,47 @@
+package disk
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// benchDrain submits nReq requests and drains the disk, measuring
+// whole-request pipeline cost including the scheduler's pick.
+func benchDrain(b *testing.B, sched Scheduler, scattered bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine()
+		d := New(eng, HP97560(), sched, 0)
+		const nReq = 256
+		spc := d.Params().SectorsPerCylinder()
+		b.StartTimer()
+		for j := 0; j < nReq; j++ {
+			sector := int64(j) * 64
+			if scattered {
+				sector = (int64(j*37) % 1900) * spc
+			}
+			spu := spuA
+			if j%2 == 1 {
+				spu = spuB
+			}
+			d.Submit(&Request{Kind: Read, Sector: sector, Count: 16, SPU: spu})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkPosSequential(b *testing.B)  { benchDrain(b, NewPos(), false) }
+func BenchmarkPosScattered(b *testing.B)   { benchDrain(b, NewPos(), true) }
+func BenchmarkIsoScattered(b *testing.B)   { benchDrain(b, NewIso(), true) }
+func BenchmarkPIsoScattered(b *testing.B)  { benchDrain(b, NewPIso(0), true) }
+func BenchmarkPIsoSequential(b *testing.B) { benchDrain(b, NewPIso(0), false) }
+
+// BenchmarkSeekModel measures the pure mechanical model.
+func BenchmarkSeekModel(b *testing.B) {
+	p := HP97560()
+	for i := 0; i < b.N; i++ {
+		_ = p.SeekTime(0, i%p.Cylinders)
+	}
+}

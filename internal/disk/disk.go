@@ -1,0 +1,250 @@
+package disk
+
+import (
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// SPUStats aggregates per-SPU statistics for one disk.
+type SPUStats struct {
+	Requests int64
+	Sectors  int64
+	Wait     stats.Sample // seconds in queue per request
+	Service  stats.Sample // seconds in service per request
+	Seek     stats.Sample // seconds of seek per request
+	Pos      stats.Sample // seconds of positioning (seek+rotation)
+}
+
+// Stats aggregates whole-disk statistics.
+type Stats struct {
+	Requests int64
+	Sectors  int64
+	Merges   int64 // requests coalesced into a queued neighbour
+	Wait     stats.Sample
+	Service  stats.Sample
+	Seek     stats.Sample
+	Pos      stats.Sample       // positioning latency (seek+rotation)
+	Busy     stats.TimeWeighted // 1 while servicing, 0 while idle
+	QueueLen stats.TimeWeighted
+}
+
+// MaxMergeSectors caps the size of a coalesced request (128 KB).
+const MaxMergeSectors = 256
+
+// Disk is one simulated drive: a mechanical model, a request queue, a
+// scheduling policy, and per-SPU bandwidth accounting.
+type Disk struct {
+	eng    *sim.Engine
+	params Params
+	sched  Scheduler
+
+	queue   []*Request
+	busy    bool
+	headCyl int
+	lastEnd int64 // sector after the previous transfer (track-buffer hit)
+
+	// Merge enables request coalescing: a submitted request adjacent to
+	// a queued request of the same kind and SPU extends it instead of
+	// queueing separately (up to MaxMergeSectors). Off by default — the
+	// paper's request counts assume the unmerged IRIX 5.3 driver.
+	Merge bool
+
+	usage *usageTable
+
+	Total  Stats
+	PerSPU map[core.SPUID]*SPUStats
+}
+
+// New creates a disk on the given engine with the given mechanical
+// parameters and scheduling policy. halfLife configures the bandwidth
+// usage decay (0 means the paper's 500 ms).
+func New(eng *sim.Engine, p Params, sched Scheduler, halfLife sim.Time) *Disk {
+	return &Disk{
+		eng:    eng,
+		params: p,
+		sched:  sched,
+		usage:  newUsageTable(halfLife),
+		PerSPU: make(map[core.SPUID]*SPUStats),
+	}
+}
+
+// Params returns the disk's mechanical parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Scheduler returns the active scheduling policy.
+func (d *Disk) Scheduler() Scheduler { return d.sched }
+
+// SetScheduler replaces the scheduling policy (before or between runs).
+func (d *Disk) SetScheduler(s Scheduler) { d.sched = s }
+
+// SetShare sets an SPU's bandwidth share weight on this disk.
+func (d *Disk) SetShare(id core.SPUID, w float64) { d.usage.setShare(id, w) }
+
+// Usage returns an SPU's decayed sector count at the current time,
+// relative to its share. Exposed for tests and for the ablation harness.
+func (d *Disk) Usage(id core.SPUID) float64 {
+	return d.usage.relative(d.eng.Now(), id)
+}
+
+// QueueLen returns the number of requests waiting (not in service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a request is currently in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// HeadCylinder returns the cylinder the head is currently over.
+func (d *Disk) HeadCylinder() int { return d.headCyl }
+
+func (d *Disk) spuStats(id core.SPUID) *SPUStats {
+	s, ok := d.PerSPU[id]
+	if !ok {
+		s = &SPUStats{}
+		d.PerSPU[id] = s
+	}
+	return s
+}
+
+// Submit enqueues a request. Invalid requests panic: they indicate a bug
+// in the file system layer, not a condition a real driver would see.
+func (d *Disk) Submit(r *Request) {
+	if err := r.validate(d.params); err != nil {
+		panic(err)
+	}
+	r.Submitted = d.eng.Now()
+	if d.Merge && d.tryMerge(r) {
+		return
+	}
+	d.queue = append(d.queue, r)
+	d.Total.QueueLen.Set(d.eng.Now(), float64(len(d.queue)))
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// tryMerge coalesces r into an adjacent queued request of the same kind
+// and SPU. Requests with charge-back lists are never merged (their
+// accounting is already aggregated). Reports whether r was absorbed.
+func (d *Disk) tryMerge(r *Request) bool {
+	if len(r.Charges) > 0 {
+		return false
+	}
+	for _, q := range d.queue {
+		if q.Kind != r.Kind || q.SPU != r.SPU || len(q.Charges) > 0 {
+			continue
+		}
+		if q.Count+r.Count > MaxMergeSectors {
+			continue
+		}
+		var merged bool
+		switch {
+		case q.Sector+int64(q.Count) == r.Sector: // r extends q forward
+			q.Count += r.Count
+			merged = true
+		case r.Sector+int64(r.Count) == q.Sector: // r prepends to q
+			q.Sector = r.Sector
+			q.Count += r.Count
+			merged = true
+		}
+		if !merged {
+			continue
+		}
+		d.Total.Merges++
+		if done := r.Done; done != nil {
+			prev := q.Done
+			q.Done = func(qq *Request) {
+				if prev != nil {
+					prev(qq)
+				}
+				// The absorbed request completes with its host.
+				r.Started = qq.Started
+				r.Finished = qq.Finished
+				r.SeekTime = qq.SeekTime
+				r.RotTime = qq.RotTime
+				done(r)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// startNext pulls the next request per the scheduling policy and begins
+// service. Caller guarantees the disk is idle.
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		d.Total.Busy.Set(d.eng.Now(), 0)
+		return
+	}
+	idx := d.sched.pick(d)
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	now := d.eng.Now()
+	d.Total.QueueLen.Set(now, float64(len(d.queue)))
+	d.busy = true
+	d.Total.Busy.Set(now, 1)
+
+	r.Started = now
+	targetCyl := d.params.CylinderOf(r.Sector)
+	seek := d.params.SeekTime(d.headCyl, targetCyl)
+	r.SeekTime = seek
+	settled := now + d.params.Overhead + seek
+	rot := d.params.RotationalDelay(settled, r.Sector)
+	if r.Sector == d.lastEnd {
+		// Exact sequential continuation: the drive's track buffer and
+		// read-ahead absorb the command-overhead gap, so streaming IO
+		// does not pay a near-full rotation per request.
+		rot = 0
+	}
+	r.RotTime = rot
+	xfer := d.params.TransferTime(r.Sector, r.Count)
+	total := d.params.Overhead + seek + rot + xfer
+
+	d.eng.After(total, "disk.complete", func() { d.complete(r) })
+	// The head ends up over the last cylinder touched by the transfer.
+	d.headCyl = d.params.CylinderOf(r.Sector + int64(r.Count) - 1)
+	d.lastEnd = r.Sector + int64(r.Count)
+}
+
+// complete finishes a request: accounting, statistics, callback, and
+// kicking off the next request.
+func (d *Disk) complete(r *Request) {
+	now := d.eng.Now()
+	r.Finished = now
+
+	// Bandwidth accounting (§3.3). Shared requests are charged back to
+	// the owning user SPUs once the transfer is done.
+	if len(r.Charges) > 0 {
+		for _, c := range r.Charges {
+			d.usage.charge(now, c.SPU, c.Sectors)
+		}
+	} else {
+		d.usage.charge(now, r.SPU, r.Count)
+	}
+
+	d.Total.Requests++
+	d.Total.Sectors += int64(r.Count)
+	d.Total.Wait.AddTime(r.Wait())
+	d.Total.Service.AddTime(r.Service())
+	d.Total.Seek.AddTime(r.SeekTime)
+	d.Total.Pos.AddTime(r.Positioning())
+	s := d.spuStats(r.SPU)
+	s.Requests++
+	s.Sectors += int64(r.Count)
+	s.Wait.AddTime(r.Wait())
+	s.Service.AddTime(r.Service())
+	s.Seek.AddTime(r.SeekTime)
+	s.Pos.AddTime(r.Positioning())
+
+	done := r.Done
+	d.startNext()
+	if done != nil {
+		done(r)
+	}
+}
+
+// Utilization returns the fraction of time the disk has been busy.
+func (d *Disk) Utilization() float64 {
+	return d.Total.Busy.Average(d.eng.Now())
+}

@@ -1,0 +1,104 @@
+package disk
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+func TestMergeForwardAdjacent(t *testing.T) {
+	eng, d := newTestDisk(NewPos())
+	d.Merge = true
+	var done []int64
+	// Occupy the disk so subsequent submissions queue.
+	d.Submit(req(spuA, 500000, 8, nil))
+	d.Submit(req(spuA, 1000, 8, func(r *Request) { done = append(done, r.Sector) }))
+	d.Submit(req(spuA, 1008, 8, func(r *Request) { done = append(done, r.Sector) }))
+	if d.QueueLen() != 1 {
+		t.Fatalf("queue %d, want 1 merged request", d.QueueLen())
+	}
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatalf("done callbacks = %d, want both", len(done))
+	}
+	if d.Total.Merges != 1 {
+		t.Fatalf("merges = %d", d.Total.Merges)
+	}
+	// 3 requests submitted, 2 serviced.
+	if d.Total.Requests != 2 {
+		t.Fatalf("serviced = %d", d.Total.Requests)
+	}
+	if d.Total.Sectors != 8+16 {
+		t.Fatalf("sectors = %d", d.Total.Sectors)
+	}
+}
+
+func TestMergeBackwardAdjacent(t *testing.T) {
+	eng, d := newTestDisk(NewPos())
+	d.Merge = true
+	d.Submit(req(spuA, 500000, 8, nil))
+	d.Submit(req(spuA, 1008, 8, nil))
+	d.Submit(req(spuA, 1000, 8, nil)) // prepends to the queued one
+	if d.QueueLen() != 1 {
+		t.Fatalf("queue %d, want 1", d.QueueLen())
+	}
+	eng.Run()
+	if d.Total.Merges != 1 {
+		t.Fatal("backward merge missed")
+	}
+}
+
+func TestMergeRespectsBoundaries(t *testing.T) {
+	eng, d := newTestDisk(NewPos())
+	d.Merge = true
+	d.Submit(req(spuA, 500000, 8, nil)) // in service
+	d.Submit(req(spuA, 1000, 8, nil))
+	d.Submit(req(spuB, 1008, 8, nil))                                               // other SPU: no merge
+	d.Submit(&Request{Kind: Write, Sector: 1016, Count: 8, SPU: spuA})              // other kind
+	d.Submit(req(spuA, 2000, 8, nil))                                               // not adjacent
+	d.Submit(&Request{Kind: Read, Sector: 1008, Count: MaxMergeSectors, SPU: spuA}) // too big
+	if d.QueueLen() != 5 {
+		t.Fatalf("queue %d, want 5 unmerged", d.QueueLen())
+	}
+	eng.Run()
+	if d.Total.Merges != 0 {
+		t.Fatalf("merges = %d, want 0", d.Total.Merges)
+	}
+}
+
+func TestMergeOffByDefault(t *testing.T) {
+	eng, d := newTestDisk(NewPos())
+	d.Submit(req(spuA, 500000, 8, nil))
+	d.Submit(req(spuA, 1000, 8, nil))
+	d.Submit(req(spuA, 1008, 8, nil))
+	if d.QueueLen() != 2 {
+		t.Fatalf("queue %d: merging happened without opt-in", d.QueueLen())
+	}
+	eng.Run()
+}
+
+func TestMergeReducesRequestCountOnStream(t *testing.T) {
+	// A bursty sequential stream submitted while the disk is busy
+	// coalesces into far fewer, larger requests.
+	run := func(merge bool) int64 {
+		eng := sim.NewEngine()
+		d := New(eng, HP97560(), NewPos(), 0)
+		d.Merge = merge
+		d.Submit(req(spuA, 900000, 8, nil)) // park service far away
+		for i := 0; i < 32; i++ {
+			d.Submit(req(spuA, int64(1000+i*8), 8, nil))
+		}
+		eng.Run()
+		return d.Total.Requests
+	}
+	plain := run(false)
+	merged := run(true)
+	if plain != 33 {
+		t.Fatalf("plain requests = %d", plain)
+	}
+	if merged >= plain/4 {
+		t.Fatalf("merged requests = %d, want large reduction from %d", merged, plain)
+	}
+	_ = core.SPUID(0)
+}

@@ -1,0 +1,183 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/sim"
+)
+
+func TestHP97560Geometry(t *testing.T) {
+	p := HP97560()
+	// 1962 cyl * 19 heads * 72 spt * 512 B ~= 1.3 GB, per [KTR94].
+	bytes := p.TotalSectors() * int64(p.SectorSize)
+	if gb := float64(bytes) / 1e9; gb < 1.2 || gb > 1.5 {
+		t.Fatalf("capacity = %.2f GB, want ~1.37", gb)
+	}
+}
+
+func TestRotationTime(t *testing.T) {
+	p := HP97560()
+	// 4002 RPM => ~14.99 ms per revolution.
+	if ms := p.RotationTime().Milliseconds(); math.Abs(ms-14.99) > 0.05 {
+		t.Fatalf("rotation = %.3f ms", ms)
+	}
+	if st := p.SectorTime().Microseconds(); math.Abs(st-208.2) > 2 {
+		t.Fatalf("sector time = %.1f us", st)
+	}
+}
+
+func TestSeekCurveRegions(t *testing.T) {
+	p := HP97560()
+	if p.SeekTime(100, 100) != 0 {
+		t.Fatal("zero-distance seek should be free")
+	}
+	// Short region: 3.24 + 0.4*sqrt(d) ms.
+	if ms := p.SeekTime(0, 100).Milliseconds(); math.Abs(ms-(3.24+0.4*10)) > 0.01 {
+		t.Fatalf("seek(100) = %.3f ms", ms)
+	}
+	// Long region: 8.00 + 0.008*d ms.
+	if ms := p.SeekTime(0, 1000).Milliseconds(); math.Abs(ms-(8.0+8.0)) > 0.01 {
+		t.Fatalf("seek(1000) = %.3f ms", ms)
+	}
+	// Symmetric.
+	if p.SeekTime(50, 250) != p.SeekTime(250, 50) {
+		t.Fatal("seek should be symmetric")
+	}
+}
+
+func TestSeekScale(t *testing.T) {
+	p := HP97560()
+	full := p.SeekTime(0, 500)
+	p.SeekScale = 0.5
+	if got := p.SeekTime(0, 500); got != full/2 {
+		t.Fatalf("scaled seek = %v, want %v", got, full/2)
+	}
+	// Zero scale means "unset" and behaves as 1.
+	p.SeekScale = 0
+	if got := p.SeekTime(0, 500); got != full {
+		t.Fatalf("unset scale seek = %v, want %v", got, full)
+	}
+}
+
+// Property: seek time is nondecreasing in distance (the fairness policies
+// reason about "closer is cheaper").
+func TestPropertySeekMonotonic(t *testing.T) {
+	p := HP97560()
+	f := func(a, b uint16) bool {
+		d1, d2 := int(a)%p.Cylinders, int(b)%p.Cylinders
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return p.SeekTime(0, d1) <= p.SeekTime(0, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCylinderOf(t *testing.T) {
+	p := HP97560()
+	spc := p.SectorsPerCylinder()
+	if p.CylinderOf(0) != 0 {
+		t.Fatal("sector 0 not in cylinder 0")
+	}
+	if p.CylinderOf(spc) != 1 {
+		t.Fatal("first sector of cyl 1")
+	}
+	if p.CylinderOf(p.TotalSectors()-1) != p.Cylinders-1 {
+		t.Fatal("last sector not in last cylinder")
+	}
+	// Out-of-range sectors clamp rather than index off the end.
+	if p.CylinderOf(p.TotalSectors()+99999) != p.Cylinders-1 {
+		t.Fatal("overflow sector should clamp to last cylinder")
+	}
+}
+
+func TestRotationalDelayDeterministicAndBounded(t *testing.T) {
+	p := HP97560()
+	for s := int64(0); s < 200; s += 7 {
+		d := p.RotationalDelay(12345*sim.Microsecond, s)
+		if d < 0 || d >= p.RotationTime() {
+			t.Fatalf("rot delay %v out of [0, rev)", d)
+		}
+		if d != p.RotationalDelay(12345*sim.Microsecond, s) {
+			t.Fatal("rotational delay not deterministic")
+		}
+	}
+}
+
+func TestRotationalDelaySequentialIsFree(t *testing.T) {
+	p := HP97560()
+	// If the head settles exactly when sector k passes, reading sector k
+	// has zero rotational delay.
+	st := p.SectorTime()
+	settled := 10 * st // head is over sector index 10
+	if d := p.RotationalDelay(settled, 10); d != 0 {
+		t.Fatalf("aligned sector delay = %v, want 0", d)
+	}
+	// The next sector costs one sector time less than a full revolution
+	// only if we just missed it; here it is the next to arrive.
+	if d := p.RotationalDelay(settled, 11); d != st {
+		t.Fatalf("next sector delay = %v, want %v", d, st)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := HP97560()
+	one := p.TransferTime(0, 1)
+	if one != p.SectorTime() {
+		t.Fatalf("1-sector transfer = %v", one)
+	}
+	// A whole-track transfer crossing into the next track pays a switch.
+	spt := p.SectorsPerTrack
+	within := p.TransferTime(0, spt)
+	crossing := p.TransferTime(0, spt+1)
+	wantCross := sim.Time(spt+1)*p.SectorTime() + p.TrackSwitch
+	if within != sim.Time(spt)*p.SectorTime() {
+		t.Fatalf("within-track = %v", within)
+	}
+	if crossing != wantCross {
+		t.Fatalf("crossing = %v, want %v", crossing, wantCross)
+	}
+	if p.TransferTime(0, 0) != 0 {
+		t.Fatal("zero-sector transfer should be free")
+	}
+}
+
+// Aggregate fidelity against the published HP 97560 characteristics
+// ([KTR94]): full-stroke seek ~24 ms, mean random seek in the low tens
+// of ms, sustained media rate ~2.3 MB/s.
+func TestHP97560AggregateFidelity(t *testing.T) {
+	p := HP97560()
+	if ms := p.SeekTime(0, p.Cylinders-1).Milliseconds(); ms < 20 || ms > 28 {
+		t.Errorf("full-stroke seek = %.1f ms, want ~24", ms)
+	}
+	// Mean random seek: average over uniform (from, to) pairs.
+	rng := sim.NewRNG(5)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.SeekTime(rng.Intn(p.Cylinders), rng.Intn(p.Cylinders)).Milliseconds()
+	}
+	if mean := sum / n; mean < 8 || mean > 16 {
+		t.Errorf("mean random seek = %.1f ms, want ~10-14", mean)
+	}
+	// Sustained media rate: one track per revolution.
+	bytesPerRev := float64(p.SectorsPerTrack * p.SectorSize)
+	mbps := bytesPerRev / p.RotationTime().Seconds() / 1e6
+	if mbps < 2.0 || mbps > 2.8 {
+		t.Errorf("sustained rate = %.2f MB/s, want ~2.3-2.5", mbps)
+	}
+}
+
+func TestFastDiskIsFast(t *testing.T) {
+	fast, slow := FastDisk(), HP97560()
+	if fast.SeekTime(0, 500) >= slow.SeekTime(0, 500) {
+		t.Fatal("fast disk seeks slower than HP97560")
+	}
+	if fast.SectorTime() >= slow.SectorTime() {
+		t.Fatal("fast disk transfers slower than HP97560")
+	}
+}

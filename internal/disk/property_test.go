@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// Property: no starvation — with any finite set of requests from any
+// mix of SPUs, every scheduler completes every request.
+func TestPropertyNoStarvation(t *testing.T) {
+	scheds := []func() Scheduler{
+		func() Scheduler { return NewPos() },
+		func() Scheduler { return NewIso() },
+		func() Scheduler { return NewPIso(0) },
+	}
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 1
+		for _, mk := range scheds {
+			eng := sim.NewEngine()
+			d := New(eng, HP97560(), mk(), 0)
+			rng := sim.NewRNG(seed)
+			completed := 0
+			for i := 0; i < n; i++ {
+				sector := rng.Int63n(d.Params().TotalSectors() - 64)
+				spu := core.FirstUserID + core.SPUID(rng.Intn(3))
+				kind := Read
+				if rng.Intn(2) == 0 {
+					kind = Write
+				}
+				// Stagger submissions so the queue sees varied states.
+				at := sim.Time(rng.Intn(200)) * sim.Millisecond
+				eng.At(at, "submit", func() {
+					d.Submit(&Request{Kind: kind, Sector: sector, Count: 1 + rng.Intn(32),
+						SPU: spu, Done: func(*Request) { completed++ }})
+				})
+			}
+			eng.Run()
+			if completed != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-request timing sanity — Started >= Submitted,
+// Finished > Started, and the service floor (overhead + transfer) holds
+// for every request under every scheduler.
+func TestPropertyTimingSanity(t *testing.T) {
+	f := func(seed uint64) bool {
+		eng := sim.NewEngine()
+		d := New(eng, HP97560(), NewPIso(64), 0)
+		rng := sim.NewRNG(seed)
+		ok := true
+		for i := 0; i < 40; i++ {
+			count := 1 + rng.Intn(64)
+			sector := rng.Int63n(d.Params().TotalSectors() - int64(count))
+			d.Submit(&Request{Kind: Read, Sector: sector, Count: count,
+				SPU: core.FirstUserID + core.SPUID(rng.Intn(2)),
+				Done: func(r *Request) {
+					if r.Started < r.Submitted || r.Finished <= r.Started {
+						ok = false
+					}
+					floor := d.Params().Overhead + d.Params().TransferTime(r.Sector, r.Count)
+					if r.Service() < floor {
+						ok = false
+					}
+				}})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the disk serves exactly one request at a time — total busy
+// time equals the sum of service times.
+func TestPropertySerialService(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, HP97560(), NewPos(), 0)
+	rng := sim.NewRNG(99)
+	var sumService sim.Time
+	for i := 0; i < 100; i++ {
+		sector := rng.Int63n(d.Params().TotalSectors() - 64)
+		d.Submit(&Request{Kind: Read, Sector: sector, Count: 8, SPU: core.FirstUserID,
+			Done: func(r *Request) { sumService += r.Service() }})
+	}
+	eng.Run()
+	busy := sim.FromSeconds(d.Total.Busy.Average(eng.Now()) * eng.Now().Seconds())
+	diff := busy - sumService
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > sim.Millisecond {
+		t.Fatalf("busy time %v != sum of service %v", busy, sumService)
+	}
+}

@@ -1,0 +1,176 @@
+package disk
+
+import "perfiso/internal/core"
+
+// Scheduler selects the next request to service from a disk's queue.
+// The three implementations correspond to the policies of §4.5.
+type Scheduler interface {
+	// Name returns the policy name as used in the paper's tables.
+	Name() string
+	// pick returns the index into d.queue of the next request to service.
+	// It is only called with a non-empty queue.
+	pick(d *Disk) int
+}
+
+// cscanBest returns the queue index that C-SCAN would pick from the given
+// candidate indices: the lowest starting cylinder at or ahead of the
+// current head position in the upward sweep, wrapping to the lowest
+// cylinder when the sweep passes the end (§3.3). Ties break by sector,
+// then FIFO.
+func cscanBest(d *Disk, candidates []int) int {
+	best := -1
+	bestWrap := -1
+	better := func(cur, cand int) bool {
+		a, b := d.queue[cand], d.queue[cur]
+		ca, cb := d.params.CylinderOf(a.Sector), d.params.CylinderOf(b.Sector)
+		if ca != cb {
+			return ca < cb
+		}
+		if a.Sector != b.Sector {
+			return a.Sector < b.Sector
+		}
+		return cand < cur // FIFO: earlier queue position first
+	}
+	for _, i := range candidates {
+		cyl := d.params.CylinderOf(d.queue[i].Sector)
+		if cyl >= d.headCyl {
+			if best == -1 || better(best, i) {
+				best = i
+			}
+		} else {
+			if bestWrap == -1 || better(bestWrap, i) {
+				bestWrap = i
+			}
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return bestWrap
+}
+
+// userCandidates partitions the queue into user-SPU requests and
+// shared/kernel requests, returning user indices and shared indices.
+// Shared-SPU requests have the lowest priority (§3.3); kernel requests
+// are treated like user requests (the kernel SPU is never restricted).
+func userCandidates(d *Disk) (user, shared []int) {
+	for i, r := range d.queue {
+		if r.SPU == core.SharedID {
+			shared = append(shared, i)
+		} else {
+			user = append(user, i)
+		}
+	}
+	return user, shared
+}
+
+// Pos is IRIX 5.3's standard scheduling: head position only, via C-SCAN.
+// The requesting SPU plays no part, so a long contiguous stream can lock
+// out other SPUs entirely.
+type Pos struct{}
+
+// NewPos returns the position-only C-SCAN scheduler.
+func NewPos() *Pos { return &Pos{} }
+
+// Name implements Scheduler.
+func (*Pos) Name() string { return "Pos" }
+
+func (*Pos) pick(d *Disk) int {
+	all := make([]int, len(d.queue))
+	for i := range d.queue {
+		all[i] = i
+	}
+	return cscanBest(d, all)
+}
+
+// Iso is the blind isolation policy: it ignores head position and serves
+// the SPU with the lowest bandwidth usage relative to its share,
+// round-robin style, FIFO within an SPU. It gives the best fairness and
+// the worst seek behaviour.
+type Iso struct{}
+
+// NewIso returns the blind bandwidth-fairness scheduler.
+func NewIso() *Iso { return &Iso{} }
+
+// Name implements Scheduler.
+func (*Iso) Name() string { return "Iso" }
+
+func (*Iso) pick(d *Disk) int {
+	user, shared := userCandidates(d)
+	cands := user
+	if len(cands) == 0 {
+		cands = shared
+	}
+	// Lowest relative usage goes first; FIFO within the winning SPU.
+	best := -1
+	var bestRel float64
+	for _, i := range cands {
+		rel := d.usage.relative(d.eng.Now(), d.queue[i].SPU)
+		if best == -1 || rel < bestRel-1e-12 {
+			best, bestRel = i, rel
+		}
+	}
+	// best is the earliest-queued request of the least-served SPU because
+	// queue order is FIFO and we only replace on strictly smaller usage.
+	return best
+}
+
+// PIso is the paper's performance-isolation policy: requests are serviced
+// in C-SCAN order as long as every SPU with queued requests passes the
+// fairness criterion; an SPU whose relative usage exceeds the mean by
+// more than Threshold is denied service until it passes again (§3.3).
+//
+// Threshold trades isolation against throughput: 0 degenerates to
+// round-robin-like fairness, a huge value to pure position scheduling.
+type PIso struct {
+	// Threshold is the BW difference threshold in sectors (relative to a
+	// unit share).
+	Threshold float64
+}
+
+// DefaultBWThreshold is the BW difference threshold used when none is
+// specified: 256 sectors (128 KB) of decayed usage above the mean.
+const DefaultBWThreshold = 256
+
+// NewPIso returns the fairness+position scheduler with the given
+// BW-difference threshold (DefaultBWThreshold if <= 0).
+func NewPIso(threshold float64) *PIso {
+	if threshold <= 0 {
+		threshold = DefaultBWThreshold
+	}
+	return &PIso{Threshold: threshold}
+}
+
+// Name implements Scheduler.
+func (*PIso) Name() string { return "PIso" }
+
+func (p *PIso) pick(d *Disk) int {
+	user, shared := userCandidates(d)
+	if len(user) == 0 {
+		return cscanBest(d, shared)
+	}
+	now := d.eng.Now()
+	// Fairness criterion over the SPUs that currently have requests
+	// queued. At least one active SPU is at or below the mean, so the
+	// passing set is never empty for Threshold >= 0.
+	var active []core.SPUID
+	seen := make(map[core.SPUID]bool)
+	for _, i := range user {
+		id := d.queue[i].SPU
+		if !seen[id] {
+			seen[id] = true
+			active = append(active, id)
+		}
+	}
+	mean := d.usage.meanRelative(now, active)
+	var passing []int
+	for _, i := range user {
+		if d.usage.relative(now, d.queue[i].SPU) <= mean+p.Threshold {
+			passing = append(passing, i)
+		}
+	}
+	if len(passing) == 0 { // defensive; cannot happen with Threshold >= 0
+		passing = user
+	}
+	return cscanBest(d, passing)
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The comparison harness pairs every paper-stated quantity with a
+// measurement, and the measurements land on the paper's side of the
+// neutral point (degradations degrade, improvements improve).
+func TestComparisonDirectionsMatchPaper(t *testing.T) {
+	c := RunComparison()
+	if len(c.Rows) < 12 {
+		t.Fatalf("only %d comparison rows", len(c.Rows))
+	}
+	for _, r := range c.Rows {
+		if math.IsNaN(r.Measured) || math.IsInf(r.Measured, 0) {
+			t.Errorf("%s / %s: measured %v", r.Experiment, r.Metric, r.Measured)
+			continue
+		}
+		if strings.Contains(r.Metric, "PIso SPU1") {
+			// Documented deviation (EXPERIMENTS.md): our PIso lender
+			// *improves* under background load by borrowing the
+			// thrashing neighbour's idle CPUs — isolation holds either
+			// way, so only require it not to degrade like SMP.
+			if r.Measured > r.Paper {
+				t.Errorf("%s / %s: measured %.0f exceeds paper %.0f", r.Experiment, r.Metric, r.Measured, r.Paper)
+			}
+			continue
+		}
+		var neutral float64
+		switch r.Unit {
+		case "%":
+			neutral = 100     // normalized responses; deltas use 0
+			if r.Paper < 50 { // delta-style metrics ("-39%", "+23%")
+				neutral = 0
+			}
+		case "x":
+			neutral = 1
+		}
+		paperSide := r.Paper - neutral
+		measuredSide := r.Measured - neutral
+		if paperSide*measuredSide < 0 && math.Abs(measuredSide) > math.Abs(paperSide)*0.15 {
+			t.Errorf("%s / %s: paper %.1f vs measured %.1f straddle neutral %.0f",
+				r.Experiment, r.Metric, r.Paper, r.Measured, neutral)
+		}
+	}
+}
+
+func TestComparisonTableRenders(t *testing.T) {
+	c := RunComparison()
+	out := c.Table().String()
+	for _, want := range []string{"fig2", "fig3", "fig7", "tab3", "tab4", "Paper", "Ours"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}

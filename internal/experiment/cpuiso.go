@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// CPUIsoRun is one scheme's measurement: mean response time per
+// application type.
+type CPUIsoRun struct {
+	Ocean     sim.Time
+	Flashlite sim.Time
+	VCS       sim.Time
+}
+
+// CPUIsoResult carries Figure 5.
+type CPUIsoResult struct {
+	Runs map[core.Scheme]CPUIsoRun
+}
+
+// CPUIsoOptions tunes the experiment.
+type CPUIsoOptions struct {
+	Kernel    kernel.Options
+	Ocean     workload.OceanParams   // zero -> DefaultOcean
+	Flashlite workload.ComputeParams // zero -> DefaultFlashlite
+	VCS       workload.ComputeParams // zero -> DefaultVCS
+}
+
+func (o CPUIsoOptions) withDefaults() CPUIsoOptions {
+	if o.Ocean.Procs == 0 {
+		o.Ocean = workload.DefaultOcean()
+	}
+	if o.Flashlite.Total == 0 {
+		o.Flashlite = workload.DefaultFlashlite()
+	}
+	if o.VCS.Total == 0 {
+		o.VCS = workload.DefaultVCS()
+	}
+	return o
+}
+
+// RunCPUIso executes the CPU isolation workload (Figure 4's structure):
+// SPU 1 runs the four-process Ocean, SPU 2 runs three Flashlite and
+// three VCS processes; each SPU owns half the 8-CPU machine. Ten
+// processes compete for eight processors, so SPU 2 is overcommitted and
+// SPU 1 is not.
+func RunCPUIso(opts CPUIsoOptions) CPUIsoResult {
+	opts = opts.withDefaults()
+	res := CPUIsoResult{Runs: make(map[core.Scheme]CPUIsoRun)}
+	for _, scheme := range Schemes {
+		res.Runs[scheme] = runCPUIsoConfig(scheme, opts)
+	}
+	return res
+}
+
+func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions) CPUIsoRun {
+	k := kernel.New(machine.CPUIsolation(), scheme, opts.Kernel)
+	spu1 := k.NewSPU("ocean", 1)
+	spu2 := k.NewSPU("eda", 1)
+	k.SetAffinity(spu1.ID(), 0)
+	k.SetAffinity(spu2.ID(), 1)
+	k.Boot()
+
+	ocean := workload.Ocean(k, spu1.ID(), "ocean", opts.Ocean)
+	k.Spawn(ocean)
+	var fls, vcs []*proc.Process
+	for i := 0; i < 3; i++ {
+		f := workload.ComputeBound(k, spu2.ID(), fmt.Sprintf("flashlite%d", i), opts.Flashlite)
+		v := workload.ComputeBound(k, spu2.ID(), fmt.Sprintf("vcs%d", i), opts.VCS)
+		fls = append(fls, f)
+		vcs = append(vcs, v)
+		k.Spawn(f)
+		k.Spawn(v)
+	}
+	k.Run()
+	mean := func(ps []*proc.Process) sim.Time {
+		ts := make([]sim.Time, len(ps))
+		for i, p := range ps {
+			ts[i] = p.ResponseTime()
+		}
+		return meanResponse(ts)
+	}
+	return CPUIsoRun{Ocean: ocean.ResponseTime(), Flashlite: mean(fls), VCS: mean(vcs)}
+}
+
+// Rows returns Figure 5's bars: per application, the response time under
+// each scheme normalized to that application's SMP response (=100).
+func (r CPUIsoResult) Rows() []struct {
+	App  string
+	SMP  float64
+	Quo  float64
+	PIso float64
+} {
+	base := r.Runs[core.SMP]
+	norm := func(get func(CPUIsoRun) sim.Time) [3]float64 {
+		var out [3]float64
+		for i, s := range Schemes {
+			out[i] = Norm(get(r.Runs[s]), get(base))
+		}
+		return out
+	}
+	ocean := norm(func(x CPUIsoRun) sim.Time { return x.Ocean })
+	fl := norm(func(x CPUIsoRun) sim.Time { return x.Flashlite })
+	vc := norm(func(x CPUIsoRun) sim.Time { return x.VCS })
+	return []struct {
+		App  string
+		SMP  float64
+		Quo  float64
+		PIso float64
+	}{
+		{"Ocean", ocean[0], ocean[1], ocean[2]},
+		{"Flashlite", fl[0], fl[1], fl[2]},
+		{"VCS", vc[0], vc[1], vc[2]},
+	}
+}
+
+// Table renders Figure 5 as a text table.
+func (r CPUIsoResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 5: CPU isolation workload — mean response time per application\n"+
+			"(normalized to SMP = 100 for each application)",
+		"Application", "SMP", "Quo", "PIso")
+	for _, row := range r.Rows() {
+		t.Addf(row.App, row.SMP, row.Quo, row.PIso)
+	}
+	return t
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/workload"
+)
+
+// The whole stack is deterministic: the same experiment run twice
+// produces bit-identical results. This is what makes every shape
+// assertion in this package meaningful rather than flaky.
+func TestEndToEndDeterminism(t *testing.T) {
+	a := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()})
+	b := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()})
+	if a.Light != b.Light || a.Heavy != b.Heavy {
+		t.Fatalf("identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestDiskExperimentDeterminism(t *testing.T) {
+	a := RunTable4(DiskOptions{})
+	b := RunTable4(DiskOptions{})
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d diverged: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

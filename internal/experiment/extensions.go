@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// GangResult compares plain and gang-scheduled Ocean under SMP-style
+// interference — the accommodation §3.1 says the base hybrid policy
+// would need ("Accommodating gang-scheduled [Ous82] parallel
+// applications would require some modifications").
+type GangResult struct {
+	PlainOcean sim.Time // individually scheduled, with interference
+	GangOcean  sim.Time // gang scheduled, same interference
+	AloneOcean sim.Time // no interference (lower bound)
+}
+
+// RunAblationGang runs Ocean against six compute hogs in the same SPU
+// under the SMP scheme (a single global runqueue, the worst case for a
+// barrier-synchronized gang), with and without gang scheduling.
+func RunAblationGang() GangResult {
+	run := func(gang, interference bool) sim.Time {
+		k := kernel.New(machine.CPUIsolation(), core.SMP, kernel.Options{})
+		s := k.NewSPU("all", 1)
+		k.Boot()
+		p := workload.DefaultOcean()
+		p.GangScheduled = gang
+		oc := workload.Ocean(k, s.ID(), "ocean", p)
+		k.Spawn(oc)
+		if interference {
+			for i := 0; i < 6; i++ {
+				k.Spawn(workload.ComputeBound(k, s.ID(), fmt.Sprintf("hog%d", i),
+					workload.ComputeParams{Total: 6 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 50}))
+			}
+		}
+		k.Run()
+		return oc.ResponseTime()
+	}
+	return GangResult{
+		PlainOcean: run(false, true),
+		GangOcean:  run(true, true),
+		AloneOcean: run(false, false),
+	}
+}
+
+// Table renders the gang-scheduling comparison.
+func (r GangResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: gang scheduling (§3.1 accommodation, Ocean + 6 hogs, SMP)",
+		"Configuration", "Ocean resp (s)")
+	t.Addf("individually scheduled", r.PlainOcean.Seconds())
+	t.Addf("gang scheduled", r.GangOcean.Seconds())
+	t.Addf("no interference (bound)", r.AloneOcean.Seconds())
+	return t
+}
+
+// ServerLatencyResult captures response-time isolation for an
+// interactive service against a batch SPU, across schemes and
+// revocation mechanisms — the concern behind §3.1's IPI suggestion.
+type ServerLatencyResult struct {
+	Rows []ServerLatencyRow
+}
+
+// ServerLatencyRow is one configuration's latency profile.
+type ServerLatencyRow struct {
+	Config string
+	Mean   sim.Time
+	Max    sim.Time
+}
+
+// RunServerLatency measures the service's request latencies under SMP,
+// Quo, PIso with tick revocation, and PIso with IPI revocation.
+func RunServerLatency() ServerLatencyResult {
+	run := func(scheme core.Scheme, ipi bool) (sim.Time, sim.Time) {
+		k := kernel.New(machine.CPUIsolation(), scheme, kernel.Options{IPIRevoke: ipi})
+		svc := k.NewSPU("service", 1)
+		batch := k.NewSPU("batch", 1)
+		k.Boot()
+		job := workload.Server(k, svc.ID(), "svc", workload.DefaultServer())
+		k.Spawn(job.Root)
+		for i := 0; i < 16; i++ {
+			k.Spawn(workload.ComputeBound(k, batch.ID(), fmt.Sprintf("b%d", i),
+				workload.ComputeParams{Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 50}))
+		}
+		k.Run()
+		lat := job.Latencies()
+		return sim.FromSeconds(lat.Mean()), job.MaxLatency()
+	}
+	var res ServerLatencyResult
+	configs := []struct {
+		name   string
+		scheme core.Scheme
+		ipi    bool
+	}{
+		{"SMP", core.SMP, false},
+		{"Quo", core.Quo, false},
+		{"PIso-tick", core.PIso, false},
+		{"PIso-IPI", core.PIso, true},
+	}
+	for _, c := range configs {
+		mean, max := run(c.scheme, c.ipi)
+		res.Rows = append(res.Rows, ServerLatencyRow{Config: c.name, Mean: mean, Max: max})
+	}
+	return res
+}
+
+// Row returns the row for a config name, or nil.
+func (r ServerLatencyResult) Row(name string) *ServerLatencyRow {
+	for i := range r.Rows {
+		if r.Rows[i].Config == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the latency comparison.
+func (r ServerLatencyResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Extension: interactive response-time isolation (2 ms requests vs 16 batch hogs)",
+		"Config", "Mean latency (ms)", "Max latency (ms)")
+	for _, row := range r.Rows {
+		t.Addf(row.Config, row.Mean.Milliseconds(), row.Max.Milliseconds())
+	}
+	return t
+}
+
+// AffinityResult captures §3.1's cache-pollution discussion: lending
+// CPUs pollutes the lender's caches, and a rate-limited sharing policy
+// ("preventing frequent reallocation of CPUs") recovers most of the
+// loss at a modest cost to the borrowers.
+type AffinityResult struct {
+	Rows []AffinityRow
+}
+
+// AffinityRow is one configuration of the cache model and loan limiter.
+type AffinityRow struct {
+	Config      string
+	Ocean       sim.Time
+	Eda         sim.Time // mean Flashlite+VCS response
+	Loans       int64
+	Revocations int64
+}
+
+// RunAblationAffinity runs the Fig 5 workload under PIso with the cache
+// model off, on, and on with the loan rate limiter.
+func RunAblationAffinity() AffinityResult {
+	run := func(name string, reload, minLoan sim.Time) AffinityRow {
+		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{
+			CacheReload: reload, MinLoanInterval: minLoan,
+		})
+		spu1 := k.NewSPU("ocean", 1)
+		spu2 := k.NewSPU("eda", 1)
+		k.Boot()
+		oc := workload.Ocean(k, spu1.ID(), "ocean", workload.DefaultOcean())
+		k.Spawn(oc)
+		var jobs []interface{ ResponseTime() sim.Time }
+		for i := 0; i < 3; i++ {
+			f := workload.ComputeBound(k, spu2.ID(), fmt.Sprintf("fl%d", i), workload.DefaultFlashlite())
+			v := workload.ComputeBound(k, spu2.ID(), fmt.Sprintf("vcs%d", i), workload.DefaultVCS())
+			k.Spawn(f)
+			k.Spawn(v)
+			jobs = append(jobs, f, v)
+		}
+		k.Run()
+		var sum sim.Time
+		for _, j := range jobs {
+			sum += j.ResponseTime()
+		}
+		return AffinityRow{
+			Config:      name,
+			Ocean:       oc.ResponseTime(),
+			Eda:         sum / sim.Time(len(jobs)),
+			Loans:       k.Scheduler().Stat.Loans,
+			Revocations: k.Scheduler().Stat.Revocations,
+		}
+	}
+	return AffinityResult{Rows: []AffinityRow{
+		run("no cache model", 0, 0),
+		run("cache reload 1ms", sim.Millisecond, 0),
+		run("reload + loan limiter", sim.Millisecond, 300*sim.Millisecond),
+	}}
+}
+
+// Row returns the row for a config name, or nil.
+func (r AffinityResult) Row(name string) *AffinityRow {
+	for i := range r.Rows {
+		if r.Rows[i].Config == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the cache-affinity comparison.
+func (r AffinityResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: cache pollution and loan rate limiting (§3.1, CPU workload, PIso)",
+		"Config", "Ocean resp (s)", "Eda mean resp (s)", "Loans", "Revocations")
+	for _, row := range r.Rows {
+		t.Addf(row.Config, row.Ocean.Seconds(), row.Eda.Seconds(), row.Loans, row.Revocations)
+	}
+	return t
+}
+
+// PageInsertResult is the §3.4 page-insert-lock granularity comparison.
+type PageInsertResult struct {
+	CoarseResp  sim.Time // makespan with 1 stripe
+	StripedResp sim.Time // makespan with the fixed kernel's striping
+	CoarseWait  sim.Time // total lock queueing, coarse
+	StripedWait sim.Time
+}
+
+// RunAblationPageInsert runs a cache-insert-heavy workload (many
+// concurrent cold reads) under both lock granularities, with the hold
+// time raised so the serialization is visible at this machine scale.
+func RunAblationPageInsert() PageInsertResult {
+	run := func(stripes int) (sim.Time, sim.Time) {
+		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{PageInsertStripes: stripes})
+		var spus []core.SPUID
+		for i := 0; i < 8; i++ {
+			s := k.NewSPU(fmt.Sprintf("spu%d", i+1), 1)
+			k.SetAffinity(s.ID(), i)
+			spus = append(spus, s.ID())
+		}
+		k.Boot()
+		k.FS().PageInsertHold = 500 * sim.Microsecond
+		params := workload.DefaultPmake()
+		for i, id := range spus {
+			k.Spawn(workload.Pmake(k, id, fmt.Sprintf("pmake%d", i), params))
+		}
+		end := k.Run()
+		_, wait := k.FS().PageInsertContention()
+		return end, wait
+	}
+	cResp, cWait := run(1)
+	sResp, sWait := run(0) // default striping
+	return PageInsertResult{CoarseResp: cResp, StripedResp: sResp, CoarseWait: cWait, StripedWait: sWait}
+}
+
+// Table renders the page-insert-lock comparison.
+func (r PageInsertResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: page-insert-lock granularity (§3.4, Pmake8 balanced)",
+		"Lock", "Makespan (s)", "Total lock wait (ms)")
+	t.Addf("coarse (1 stripe)", r.CoarseResp.Seconds(), r.CoarseWait.Milliseconds())
+	t.Addf("striped (fixed kernel)", r.StripedResp.Seconds(), r.StripedWait.Milliseconds())
+	return t
+}

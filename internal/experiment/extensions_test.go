@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// Gang scheduling keeps the interfered Ocean much closer to its
+// no-interference bound than individual scheduling does.
+func TestAblationGangShape(t *testing.T) {
+	r := RunAblationGang()
+	if r.AloneOcean <= 0 {
+		t.Fatal("baseline missing")
+	}
+	if r.PlainOcean <= r.AloneOcean {
+		t.Fatal("interference had no effect on the plain run")
+	}
+	if r.GangOcean >= r.PlainOcean {
+		t.Errorf("gang scheduling did not help: %v vs %v", r.GangOcean, r.PlainOcean)
+	}
+	// The gang run should recover most of the interference penalty.
+	plainPenalty := float64(r.PlainOcean - r.AloneOcean)
+	gangPenalty := float64(r.GangOcean - r.AloneOcean)
+	if gangPenalty > 0.6*plainPenalty {
+		t.Errorf("gang recovered too little: penalties %.3fs vs %.3fs",
+			gangPenalty/1e9, plainPenalty/1e9)
+	}
+	if r.Table().NumRows() != 3 {
+		t.Fatal("table rows")
+	}
+}
+
+// Tail latency ordering: SMP worst, PIso-tick bounded by the tick,
+// PIso-IPI matching Quo's dedicated-machine latency.
+func TestServerLatencyShape(t *testing.T) {
+	r := RunServerLatency()
+	smp, quo := r.Row("SMP"), r.Row("Quo")
+	tick, ipi := r.Row("PIso-tick"), r.Row("PIso-IPI")
+	if smp == nil || quo == nil || tick == nil || ipi == nil {
+		t.Fatal("missing rows")
+	}
+	if tick.Max >= smp.Max {
+		t.Errorf("PIso tail %v not below SMP %v", tick.Max, smp.Max)
+	}
+	// Tick revocation bounds the extra wait at ~one tick (10 ms).
+	if tick.Max > quo.Max+11*sim.Millisecond {
+		t.Errorf("PIso-tick tail %v exceeds Quo %v + one tick", tick.Max, quo.Max)
+	}
+	// IPI removes the tick delay entirely.
+	if ipi.Max > quo.Max+sim.Millisecond {
+		t.Errorf("PIso-IPI tail %v should match Quo %v", ipi.Max, quo.Max)
+	}
+	if r.Table().NumRows() != 4 {
+		t.Fatal("table rows")
+	}
+}
+
+// §3.1's cache story: pollution makes lending cost the lender; the loan
+// rate limiter recovers most of the loss.
+func TestAblationAffinityShape(t *testing.T) {
+	r := RunAblationAffinity()
+	off := r.Row("no cache model")
+	on := r.Row("cache reload 1ms")
+	lim := r.Row("reload + loan limiter")
+	if off == nil || on == nil || lim == nil {
+		t.Fatal("missing rows")
+	}
+	if on.Ocean <= off.Ocean {
+		t.Errorf("cache model had no cost: %v vs %v", on.Ocean, off.Ocean)
+	}
+	if lim.Ocean >= on.Ocean {
+		t.Errorf("loan limiter did not help the lender: %v vs %v", lim.Ocean, on.Ocean)
+	}
+	if lim.Loans >= on.Loans {
+		t.Errorf("limiter did not reduce loans: %d vs %d", lim.Loans, on.Loans)
+	}
+	if r.Table().NumRows() != 3 {
+		t.Fatal("table rows")
+	}
+}
+
+// §3.4: the coarse page-insert lock costs real queueing; striping
+// removes it.
+func TestAblationPageInsertShape(t *testing.T) {
+	r := RunAblationPageInsert()
+	if r.CoarseWait <= r.StripedWait {
+		t.Errorf("coarse wait %v not above striped %v", r.CoarseWait, r.StripedWait)
+	}
+	if r.StripedResp > r.CoarseResp {
+		t.Errorf("striping slowed the run: %v vs %v", r.StripedResp, r.CoarseResp)
+	}
+	if r.Table().NumRows() != 2 {
+		t.Fatal("table rows")
+	}
+}

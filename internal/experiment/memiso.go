@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// MemIsoRun is one configuration's measurement.
+type MemIsoRun struct {
+	SPU1 sim.Time // mean job response in SPU 1 (always one job)
+	SPU2 sim.Time // mean job response in SPU 2 (one or two jobs)
+}
+
+// MemIsoResult carries Figure 7: both graphs derive from the balanced
+// and unbalanced runs per scheme.
+type MemIsoResult struct {
+	Balanced   map[core.Scheme]MemIsoRun
+	Unbalanced map[core.Scheme]MemIsoRun
+	BaseSMP    sim.Time // SMP balanced SPU1 response (normalization base)
+}
+
+// MemIsoOptions tunes the experiment.
+type MemIsoOptions struct {
+	Kernel kernel.Options
+	Params workload.PmakeParams // zero -> workload.MemPmake()
+}
+
+// RunMemIso executes the memory-isolation workload (Figure 6's
+// structure): two SPUs on a 4-CPU, 16 MB machine; memory suffices for
+// one pmake job per SPU but two jobs in one SPU cause memory pressure.
+// Balanced: one job each. Unbalanced: SPU 2 runs two jobs.
+func RunMemIso(opts MemIsoOptions) MemIsoResult {
+	if opts.Params.Parallel == 0 {
+		opts.Params = workload.MemPmake()
+	}
+	res := MemIsoResult{
+		Balanced:   make(map[core.Scheme]MemIsoRun),
+		Unbalanced: make(map[core.Scheme]MemIsoRun),
+	}
+	for _, scheme := range Schemes {
+		res.Balanced[scheme] = runMemIsoConfig(scheme, false, opts)
+		res.Unbalanced[scheme] = runMemIsoConfig(scheme, true, opts)
+	}
+	res.BaseSMP = res.Balanced[core.SMP].SPU1
+	return res
+}
+
+func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions) MemIsoRun {
+	k := kernel.New(machine.MemoryIsolation(), scheme, opts.Kernel)
+	spu1 := k.NewSPU("spu1", 1)
+	spu2 := k.NewSPU("spu2", 1)
+	k.SetAffinity(spu1.ID(), 0)
+	k.SetAffinity(spu2.ID(), 1)
+	k.Boot()
+
+	j1 := workload.Pmake(k, spu1.ID(), "job1", opts.Params)
+	k.Spawn(j1)
+	jobs2 := []*proc.Process{workload.Pmake(k, spu2.ID(), "job2a", opts.Params)}
+	k.Spawn(jobs2[0])
+	if unbalanced {
+		j := workload.Pmake(k, spu2.ID(), "job2b", opts.Params)
+		jobs2 = append(jobs2, j)
+		k.Spawn(j)
+	}
+	k.Run()
+	ts := make([]sim.Time, len(jobs2))
+	for i, j := range jobs2 {
+		ts[i] = j.ResponseTime()
+	}
+	return MemIsoRun{SPU1: j1.ResponseTime(), SPU2: meanResponse(ts)}
+}
+
+// IsolationRows returns Figure 7's lower graph: SPU 1's normalized
+// response in the balanced and unbalanced configurations per scheme.
+func (r MemIsoResult) IsolationRows() []struct {
+	Scheme               core.Scheme
+	Balanced, Unbalanced float64
+} {
+	out := make([]struct {
+		Scheme               core.Scheme
+		Balanced, Unbalanced float64
+	}, 0, len(Schemes))
+	for _, s := range Schemes {
+		out = append(out, struct {
+			Scheme               core.Scheme
+			Balanced, Unbalanced float64
+		}{s, Norm(r.Balanced[s].SPU1, r.BaseSMP), Norm(r.Unbalanced[s].SPU1, r.BaseSMP)})
+	}
+	return out
+}
+
+// SharingRows returns Figure 7's upper graph: SPU 2's normalized
+// response (two jobs, unbalanced) per scheme, against its balanced
+// baseline.
+func (r MemIsoResult) SharingRows() []struct {
+	Scheme               core.Scheme
+	Balanced, Unbalanced float64
+} {
+	out := make([]struct {
+		Scheme               core.Scheme
+		Balanced, Unbalanced float64
+	}, 0, len(Schemes))
+	base := r.Balanced[core.SMP].SPU2
+	for _, s := range Schemes {
+		out = append(out, struct {
+			Scheme               core.Scheme
+			Balanced, Unbalanced float64
+		}{s, Norm(r.Balanced[s].SPU2, base), Norm(r.Unbalanced[s].SPU2, base)})
+	}
+	return out
+}
+
+// Table renders Figure 7 (both graphs) as text tables.
+func (r MemIsoResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 7: memory isolation workload (normalized response times)",
+		"Graph", "Scheme", "Balanced", "Unbalanced")
+	for _, row := range r.SharingRows() {
+		t.Addf("sharing (SPU2)", row.Scheme.String(), row.Balanced, row.Unbalanced)
+	}
+	for _, row := range r.IsolationRows() {
+		t.Addf("isolation (SPU1)", row.Scheme.String(), row.Balanced, row.Unbalanced)
+	}
+	return t
+}

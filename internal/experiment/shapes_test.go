@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+)
+
+// These tests assert the paper's qualitative claims — the shapes of
+// Figures 2, 3, 5 and 7 and Tables 3 and 4 — on the reproduced system.
+// Absolute numbers differ from the SimOS runs; who wins, by roughly what
+// factor, and where the crossovers fall must not.
+
+var pmake8Cache *Pmake8Result
+
+func pmake8(t *testing.T) Pmake8Result {
+	t.Helper()
+	if pmake8Cache == nil {
+		r := RunPmake8(Pmake8Options{})
+		pmake8Cache = &r
+	}
+	return *pmake8Cache
+}
+
+// Figure 2: "Performance Isolation (PIso) is able to keep the
+// performance of jobs in the lightly-loaded SPUs the same in the
+// balanced and unbalanced configurations" while SMP degrades them by
+// tens of percent (56% in the paper).
+func TestFig2IsolationShape(t *testing.T) {
+	r := pmake8(t)
+	rows := r.Fig2Rows()
+	get := func(s core.Scheme) (b, u float64) {
+		for _, row := range rows {
+			if row.Scheme == s {
+				return row.Balanced, row.Unbalanced
+			}
+		}
+		t.Fatalf("scheme %v missing", s)
+		return 0, 0
+	}
+	smpB, smpU := get(core.SMP)
+	if smpU < smpB*1.25 {
+		t.Errorf("SMP light SPUs degraded only %0.f%% -> %0.f%%; isolation should be broken", smpB, smpU)
+	}
+	for _, s := range []core.Scheme{core.Quo, core.PIso} {
+		b, u := get(s)
+		if u > b*1.10 {
+			t.Errorf("%v light SPUs degraded %0.f%% -> %0.f%%; isolation broken", s, b, u)
+		}
+	}
+	// PIso's light-load latency matches SMP's (within 10%): "SMP-like
+	// latency under light load".
+	pisoB, _ := get(core.PIso)
+	if pisoB > smpB*1.10 || pisoB < smpB*0.90 {
+		t.Errorf("PIso balanced %0.f%% far from SMP balanced %0.f%%", pisoB, smpB)
+	}
+}
+
+// Figure 3: sharing — Quo is much worse than SMP for the heavy SPUs
+// (187 vs 156 in the paper); PIso lands at or below SMP.
+func TestFig3SharingShape(t *testing.T) {
+	r := pmake8(t)
+	rows := r.Fig3Rows()
+	vals := map[core.Scheme]float64{}
+	for _, row := range rows {
+		vals[row.Scheme] = row.Heavy
+	}
+	if vals[core.Quo] <= vals[core.SMP]*1.15 {
+		t.Errorf("Quo heavy %0.f%% not clearly worse than SMP %0.f%%", vals[core.Quo], vals[core.SMP])
+	}
+	if vals[core.PIso] > vals[core.SMP]*1.10 {
+		t.Errorf("PIso heavy %0.f%% worse than SMP %0.f%%; sharing broken", vals[core.PIso], vals[core.SMP])
+	}
+	if vals[core.PIso] >= vals[core.Quo] {
+		t.Errorf("PIso %0.f%% not better than Quo %0.f%%", vals[core.PIso], vals[core.Quo])
+	}
+}
+
+// Figure 5: Ocean (light SPU) improves under isolation, with Quo the
+// ideal and PIso close behind; Flashlite and VCS (heavy SPU) do much
+// better under PIso than Quo and land near SMP.
+func TestFig5CPUIsolationShape(t *testing.T) {
+	r := RunCPUIso(CPUIsoOptions{})
+	for _, row := range r.Rows() {
+		switch row.App {
+		case "Ocean":
+			if row.Quo >= row.SMP || row.PIso >= row.SMP {
+				t.Errorf("Ocean: Quo %.0f / PIso %.0f should beat SMP 100", row.Quo, row.PIso)
+			}
+			if row.Quo > row.PIso {
+				t.Errorf("Ocean: Quo %.0f should be at least as good as PIso %.0f", row.Quo, row.PIso)
+			}
+			// "Fixed quotas, the ideal case for isolation, does a little
+			// better than PIso" — a little, not a lot.
+			if row.PIso > row.Quo*1.25 {
+				t.Errorf("Ocean: PIso %.0f too far behind Quo %.0f", row.PIso, row.Quo)
+			}
+		case "Flashlite", "VCS":
+			if row.Quo <= row.SMP {
+				t.Errorf("%s: Quo %.0f should be worse than SMP 100", row.App, row.Quo)
+			}
+			if row.PIso >= row.Quo {
+				t.Errorf("%s: PIso %.0f should beat Quo %.0f", row.App, row.PIso, row.Quo)
+			}
+			if row.PIso > 115 {
+				t.Errorf("%s: PIso %.0f should be comparable to SMP", row.App, row.PIso)
+			}
+		}
+	}
+}
+
+// Figure 7: memory isolation — SPU1 is isolated by Quo and PIso but not
+// SMP; SPU2 (two jobs) suffers badly under Quo and lands near SMP under
+// PIso.
+func TestFig7MemoryIsolationShape(t *testing.T) {
+	r := RunMemIso(MemIsoOptions{})
+	iso := map[core.Scheme]struct{ b, u float64 }{}
+	for _, row := range r.IsolationRows() {
+		iso[row.Scheme] = struct{ b, u float64 }{row.Balanced, row.Unbalanced}
+	}
+	if iso[core.SMP].u < iso[core.SMP].b*1.12 {
+		t.Errorf("SMP SPU1 %.0f -> %.0f: background load should hurt it", iso[core.SMP].b, iso[core.SMP].u)
+	}
+	for _, s := range []core.Scheme{core.Quo, core.PIso} {
+		if iso[s].u > iso[s].b*1.15 {
+			t.Errorf("%v SPU1 %.0f -> %.0f: isolation broken", s, iso[s].b, iso[s].u)
+		}
+	}
+	sh := map[core.Scheme]struct{ b, u float64 }{}
+	for _, row := range r.SharingRows() {
+		sh[row.Scheme] = struct{ b, u float64 }{row.Balanced, row.Unbalanced}
+	}
+	// Quo's loss is large: beyond the pure 2x CPU effect.
+	if sh[core.Quo].u < sh[core.Quo].b*1.9 {
+		t.Errorf("Quo SPU2 %.0f -> %.0f: should at least double (CPU) plus memory penalty",
+			sh[core.Quo].b, sh[core.Quo].u)
+	}
+	if sh[core.Quo].u <= sh[core.SMP].u*1.15 {
+		t.Errorf("Quo SPU2 %.0f not clearly worse than SMP %.0f", sh[core.Quo].u, sh[core.SMP].u)
+	}
+	// PIso delivers "significantly better performance, close to the SMP
+	// case".
+	if sh[core.PIso].u > sh[core.SMP].u*1.2 {
+		t.Errorf("PIso SPU2 %.0f too far above SMP %.0f", sh[core.PIso].u, sh[core.SMP].u)
+	}
+	if sh[core.PIso].u >= sh[core.Quo].u {
+		t.Errorf("PIso SPU2 %.0f not better than Quo %.0f", sh[core.PIso].u, sh[core.Quo].u)
+	}
+}
+
+// Table 3: PIso significantly reduces the pmake's response time and
+// per-request wait versus Pos, at a modest cost to the copy; blind Iso
+// performs like PIso here because the pmake's requests are irregular.
+func TestTable3Shape(t *testing.T) {
+	r := RunTable3(DiskOptions{})
+	pos, iso, piso := r.Row("Pos"), r.Row("Iso"), r.Row("PIso")
+	if pos == nil || iso == nil || piso == nil {
+		t.Fatal("missing rows")
+	}
+	// "significantly reduces the response time for the pmake job (39%)".
+	if float64(piso.RespA) > 0.75*float64(pos.RespA) {
+		t.Errorf("PIso pmake %.1fs vs Pos %.1fs: no significant improvement",
+			piso.RespA.Seconds(), pos.RespA.Seconds())
+	}
+	// "the average time a request spends waiting ... decreases by 76%".
+	if float64(piso.WaitA) > 0.5*float64(pos.WaitA) {
+		t.Errorf("PIso pmake wait %.0fms vs Pos %.0fms: lockout not relieved",
+			piso.WaitA.Milliseconds(), pos.WaitA.Milliseconds())
+	}
+	// "The copy job, as expected, does see a reduction in performance"
+	// — but bounded (23% in the paper).
+	if piso.RespB < pos.RespB {
+		t.Errorf("copy got faster under PIso?")
+	}
+	if float64(piso.RespB) > 1.6*float64(pos.RespB) {
+		t.Errorf("copy degraded %.0f%% under PIso; paper saw ~23%%",
+			100*(float64(piso.RespB)/float64(pos.RespB)-1))
+	}
+	// "does not significantly change the average seek latency".
+	if float64(piso.AvgLatency) > 1.35*float64(pos.AvgLatency) {
+		t.Errorf("PIso latency %.1fms vs Pos %.1fms", piso.AvgLatency.Milliseconds(), pos.AvgLatency.Milliseconds())
+	}
+	// "its performance is similar to the performance isolation policy"
+	// (Iso vs PIso on this workload).
+	if float64(iso.RespA) > 1.3*float64(piso.RespA) {
+		t.Errorf("Iso pmake %.1fs far from PIso %.1fs on an irregular workload",
+			iso.RespA.Seconds(), piso.RespA.Seconds())
+	}
+}
+
+// Table 4: with two regular streams, PIso beats Iso for both jobs
+// because it also considers head position; Iso pays extra positioning
+// latency; under Pos the small copy is locked out by the big one.
+func TestTable4Shape(t *testing.T) {
+	r := RunTable4(DiskOptions{})
+	pos, iso, piso := r.Row("Pos"), r.Row("Iso"), r.Row("PIso")
+	if pos == nil || iso == nil || piso == nil {
+		t.Fatal("missing rows")
+	}
+	// Pos: the big copy locks out the small one (0.93 vs 0.81 s in the
+	// paper — the small job finishes after the big one despite being
+	// a tenth the size).
+	if pos.RespA < pos.RespB {
+		t.Errorf("Pos: small copy %.2fs finished before big %.2fs; no lockout",
+			pos.RespA.Seconds(), pos.RespB.Seconds())
+	}
+	// Fairness: both Iso and PIso let the small copy finish first.
+	for _, row := range []*DiskRow{iso, piso} {
+		if row.RespA >= row.RespB {
+			t.Errorf("%s: small %.2fs did not finish before big %.2fs",
+				row.Policy, row.RespA.Seconds(), row.RespB.Seconds())
+		}
+	}
+	// "the PIso policy provides better response times for both
+	// processes as compared to the Iso policy".
+	if piso.RespA >= iso.RespA {
+		t.Errorf("PIso small %.2fs not better than Iso %.2fs", piso.RespA.Seconds(), iso.RespA.Seconds())
+	}
+	if piso.RespB >= iso.RespB {
+		t.Errorf("PIso big %.2fs not better than Iso %.2fs", piso.RespB.Seconds(), iso.RespB.Seconds())
+	}
+	// "The Iso policy pays almost a 30% increase in average seek
+	// latency" while PIso stays near Pos.
+	if float64(iso.AvgLatency) < 1.2*float64(piso.AvgLatency) {
+		t.Errorf("Iso latency %.2fms not clearly above PIso %.2fms",
+			iso.AvgLatency.Milliseconds(), piso.AvgLatency.Milliseconds())
+	}
+	// Wait times drop from Iso to PIso for both jobs (54% and 30% in
+	// the paper).
+	if piso.WaitA >= iso.WaitA || piso.WaitB >= iso.WaitB {
+		t.Errorf("PIso waits (%.0f, %.0f ms) not below Iso (%.0f, %.0f ms)",
+			piso.WaitA.Milliseconds(), piso.WaitB.Milliseconds(),
+			iso.WaitA.Milliseconds(), iso.WaitB.Milliseconds())
+	}
+}
+
+// Tables render without panicking and contain all rows.
+func TestTableRendering(t *testing.T) {
+	r := pmake8(t)
+	if r.Fig2Table().NumRows() != 3 || r.Fig3Table().NumRows() != 3 {
+		t.Fatal("figure tables incomplete")
+	}
+	d := RunTable4(DiskOptions{})
+	if d.Table().NumRows() != 3 {
+		t.Fatal("disk table incomplete")
+	}
+	if d.Row("nope") != nil {
+		t.Fatal("unknown policy should return nil row")
+	}
+}

@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestSmokePrintAll runs every experiment once and prints the tables;
+// run with -v to inspect the shapes during development.
+func TestSmokePrintAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test is slow")
+	}
+	p := RunPmake8(Pmake8Options{})
+	t.Logf("\n%s", p.Fig2Table())
+	t.Logf("\n%s", p.Fig3Table())
+	c := RunCPUIso(CPUIsoOptions{})
+	t.Logf("\n%s", c.Table())
+	m := RunMemIso(MemIsoOptions{})
+	t.Logf("\n%s", m.Table())
+	d3 := RunTable3(DiskOptions{})
+	t.Logf("\n%s", d3.Table())
+	d4 := RunTable4(DiskOptions{})
+	t.Logf("\n%s", d4.Table())
+}

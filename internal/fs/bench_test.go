@@ -1,0 +1,48 @@
+package fs
+
+import (
+	"testing"
+
+	"perfiso/internal/mem"
+)
+
+// BenchmarkWarmRead measures the cache-hit read path.
+func BenchmarkWarmRead(b *testing.B) {
+	r := newRig(4096)
+	f := r.al.NewFile("f", 256*1024, Contiguous, 0)
+	r.fs.Read(spuA, f, 0, 256*1024, func() {})
+	r.eng.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.fs.Read(spuA, f, 0, 64*1024, func() {})
+	}
+}
+
+// BenchmarkColdReadCycle measures the full miss path: read, evict,
+// re-read, including disk events.
+func BenchmarkColdReadCycle(b *testing.B) {
+	r := newRig(4096)
+	f := r.al.NewFile("f", 64*1024, Contiguous, 0)
+	r.fs.ReadAheadPages = 0
+	for i := 0; i < b.N; i++ {
+		r.fs.Read(spuA, f, 0, 64*1024, func() {})
+		r.eng.Run()
+		for _, cp := range r.fs.cacheSnapshot() {
+			p := cp.page
+			cp.PageEvicted(p)
+			r.mm.Free(p)
+		}
+	}
+}
+
+// BenchmarkFlush measures batching and submitting delayed writes.
+func BenchmarkFlush(b *testing.B) {
+	r := newRig(1 << 15)
+	f := r.al.NewFile("f", 1<<20, Contiguous, 0)
+	for i := 0; i < b.N; i++ {
+		r.fs.Write(spuA, f, 0, 1<<20, func() {})
+		r.fs.FlushTick()
+		r.eng.Run()
+	}
+	_ = mem.PageSize
+}

@@ -1,0 +1,501 @@
+package fs
+
+import (
+	"perfiso/internal/core"
+	"perfiso/internal/disk"
+	"perfiso/internal/mem"
+	"perfiso/internal/sim"
+)
+
+const (
+	// DefaultClusterPages is the read cluster size: 8 pages = 32 KB per
+	// disk request, which puts the big-copy workload near the paper's
+	// "1050 requests" for 20 MB copied.
+	DefaultClusterPages = 8
+	// DefaultReadAheadPages is how far sequential read-ahead prefetches
+	// beyond the requested range.
+	DefaultReadAheadPages = 16
+	// DefaultFlushClusterPages is the delayed-write cluster size: 16
+	// pages = 64 KB per flush request.
+	DefaultFlushClusterPages = 16
+	// DefaultLookupHold is the simulated hold time of the inode lock for
+	// one pathname lookup.
+	DefaultLookupHold = 30 * sim.Microsecond
+	// DefaultPageInsertStripes is the page-insert-lock striping of the
+	// fixed kernel; 1 reproduces the original coarse lock (§3.4).
+	DefaultPageInsertStripes = 64
+	// DefaultPageInsertHold is the time one cache-page insertion holds
+	// its page-insert-lock stripe.
+	DefaultPageInsertHold = 2 * sim.Microsecond
+)
+
+// Stats counts file-system activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	ReadReqs   int64 // disk read requests issued
+	WriteReqs  int64 // disk write requests issued (flush + meta)
+	MetaWrites int64
+	Flushes    int64 // flush batches
+	Lookups    int64
+}
+
+// FileSystem is the buffer-cache and file layer over the disks.
+type FileSystem struct {
+	eng *sim.Engine
+	mm  *mem.Manager
+
+	cache      map[cacheKey]*CachePage
+	dirtyCount int
+
+	// RootInode is the §3.4 inode-lock semaphore guarding pathname
+	// lookups; its mode (mutex vs readers-writer) is the abl-sem knob.
+	RootInode *Semaphore
+
+	// pageInsert is the §3.4 page-insert-lock: it protects the mapping
+	// from (file, offset) to physical pages. The original IRIX 5.3 had
+	// one coarse lock; the paper "reduced the granularity", which we
+	// model as lock striping. PageInsertHold is the per-insertion hold.
+	pageInsert     []*Semaphore
+	PageInsertHold sim.Time
+
+	ClusterPages      int64
+	ReadAheadPages    int64
+	FlushClusterPages int64
+	LookupHold        sim.Time
+	// DirtyHighWater triggers an immediate flush when the number of
+	// dirty pages exceeds it ("the buffer cache fills up causing writes
+	// to the disk", §4.5). Zero means a quarter of physical memory.
+	DirtyHighWater int
+
+	Stat Stats
+}
+
+// New creates a file system drawing cache frames from mm.
+func New(eng *sim.Engine, mm *mem.Manager, inodeMode SemMode) *FileSystem {
+	f := &FileSystem{
+		eng:               eng,
+		mm:                mm,
+		cache:             make(map[cacheKey]*CachePage),
+		RootInode:         NewSemaphore(eng, inodeMode),
+		ClusterPages:      DefaultClusterPages,
+		ReadAheadPages:    DefaultReadAheadPages,
+		FlushClusterPages: DefaultFlushClusterPages,
+		LookupHold:        DefaultLookupHold,
+	}
+	f.DirtyHighWater = mm.TotalPages() / 4
+	f.PageInsertHold = DefaultPageInsertHold
+	f.SetPageInsertStripes(DefaultPageInsertStripes)
+	return f
+}
+
+// SetPageInsertStripes reconfigures the page-insert-lock striping: 1 is
+// the original coarse IRIX lock, larger values are the reduced
+// granularity of the fixed kernel (§3.4). Call before submitting work.
+func (fs *FileSystem) SetPageInsertStripes(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	fs.pageInsert = make([]*Semaphore, n)
+	for i := range fs.pageInsert {
+		fs.pageInsert[i] = NewSemaphore(fs.eng, SemMutex)
+	}
+}
+
+// PageInsertContention returns the total acquisitions and queueing time
+// across all page-insert-lock stripes.
+func (fs *FileSystem) PageInsertContention() (acquisitions int64, wait sim.Time) {
+	for _, s := range fs.pageInsert {
+		acquisitions += s.Acquisitions
+		wait += s.WaitTotal
+	}
+	return acquisitions, wait
+}
+
+// withInsertLock runs fn holding the page-insert-lock stripe for
+// (f, idx).
+func (fs *FileSystem) withInsertLock(f *File, idx int64, fn func()) {
+	stripe := fs.pageInsert[uint64(f.seq*1315423911+idx)%uint64(len(fs.pageInsert))]
+	stripe.Acquire(false, fs.PageInsertHold, fn)
+}
+
+// DirtyPages returns the number of dirty cache pages.
+func (fs *FileSystem) DirtyPages() int { return fs.dirtyCount }
+
+// CachedPages returns the number of resident cache pages.
+func (fs *FileSystem) CachedPages() int { return len(fs.cache) }
+
+// lookup returns the cache entry for (f, idx), creating it if absent,
+// and touches its frame for LRU/shared accounting.
+func (fs *FileSystem) lookup(spu core.SPUID, f *File, idx int64) *CachePage {
+	key := cacheKey{f, idx}
+	cp, ok := fs.cache[key]
+	if !ok {
+		cp = &CachePage{fs: fs, file: f, idx: idx}
+		fs.cache[key] = cp
+	}
+	if cp.page != nil {
+		fs.mm.Touch(cp.page, spu)
+	}
+	return cp
+}
+
+// Lookup models a pathname lookup through the root inode (§3.4): the
+// caller queues on the inode semaphore (shared when the semaphore is in
+// readers-writer mode) and proceeds after the hold time.
+func (fs *FileSystem) Lookup(spu core.SPUID, done func()) {
+	fs.Stat.Lookups++
+	fs.RootInode.Acquire(true, fs.LookupHold, func() {
+		fs.eng.After(fs.LookupHold, "fs.lookup", done)
+	})
+}
+
+// Read reads [off, off+n) of the file on behalf of spu and calls done
+// when every byte is in the cache. Sequential reads trigger read-ahead.
+func (fs *FileSystem) Read(spu core.SPUID, f *File, off, n int64, done func()) {
+	if n <= 0 {
+		done()
+		return
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+		if n <= 0 {
+			done()
+			return
+		}
+	}
+	first := off / mem.PageSize
+	last := (off + n - 1) / mem.PageSize
+	sequential := off == f.lastReadEnd || off == 0
+	f.lastReadEnd = off + n
+
+	pending := 1 // guard: released after issuing, so synchronous page
+	// completions cannot fire done before the whole range is examined
+	fired := false
+	finish := func() {
+		if pending == 0 && !fired {
+			fired = true
+			done()
+		}
+	}
+	for idx := first; idx <= last; idx++ {
+		cp := fs.lookup(spu, f, idx)
+		if cp.valid {
+			fs.Stat.Hits++
+			continue
+		}
+		fs.Stat.Misses++
+		pending++
+		cp.waiters = append(cp.waiters, func() {
+			// The waiter did access the page: record the touch so a
+			// second SPU reading concurrently still re-tags the page
+			// to the shared SPU (§2.2 shared-library accounting).
+			if cp.page != nil {
+				fs.mm.Touch(cp.page, spu)
+			}
+			pending--
+			finish()
+		})
+	}
+	fs.fill(spu, f, first, last)
+	if sequential && fs.ReadAheadPages > 0 {
+		raLast := last + fs.ReadAheadPages
+		if max := f.NumPages() - 1; raLast > max {
+			raLast = max
+		}
+		if raLast > last {
+			fs.fill(spu, f, last+1, raLast)
+		}
+	}
+	pending-- // release the guard
+	finish()
+}
+
+// fill issues clustered disk reads for the invalid, idle pages in
+// [from, to] of the file.
+func (fs *FileSystem) fill(spu core.SPUID, f *File, from, to int64) {
+	idx := from
+	for idx <= to {
+		cp := fs.lookup(spu, f, idx)
+		if cp.valid || cp.io {
+			idx++
+			continue
+		}
+		// Grow a cluster of consecutive needy pages that are also
+		// contiguous on disk.
+		cluster := []*CachePage{cp}
+		for int64(len(cluster)) < fs.ClusterPages && idx+int64(len(cluster)) <= to {
+			nidx := idx + int64(len(cluster))
+			if !f.contiguousWith(nidx - 1) {
+				break
+			}
+			ncp := fs.lookup(spu, f, nidx)
+			if ncp.valid || ncp.io {
+				break
+			}
+			cluster = append(cluster, ncp)
+		}
+		idx += int64(len(cluster))
+		fs.readCluster(spu, f, cluster)
+	}
+}
+
+// readCluster allocates frames for the cluster's pages and then issues a
+// single disk read covering them.
+func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage) {
+	need := 0
+	for _, cp := range cluster {
+		cp.io = true
+		if cp.page == nil {
+			need++
+		}
+	}
+	launched := false
+	launch := func() {
+		if launched || need > 0 {
+			return
+		}
+		launched = true
+		fs.Stat.ReadReqs++
+		f.Disk.Submit(&disk.Request{
+			Kind:   disk.Read,
+			Sector: cluster[0].Sector(),
+			Count:  len(cluster) * mem.SectorsPerPage,
+			SPU:    spu,
+			Done: func(*disk.Request) {
+				for _, cp := range cluster {
+					cp.page.Pinned = false
+					cp.io = false
+					cp.valid = true
+					cp.notify()
+				}
+			},
+		})
+	}
+	for _, cp := range cluster {
+		if cp.page != nil {
+			// Pin immediately: a sibling page's allocation below may
+			// trigger reclaim, which must not steal this frame while
+			// the cluster is being assembled.
+			cp.page.Pinned = true
+			continue
+		}
+		cp := cp
+		// Inserting a page into the (file, offset) -> frame mapping
+		// takes the page-insert-lock stripe (§3.4).
+		fs.withInsertLock(f, cp.idx, func() {
+			fs.mm.Request(spu, mem.Cache, cp, func(p *mem.Page) {
+				cp.page = p
+				p.Pinned = true
+				need--
+				launch()
+			})
+		})
+	}
+	launch()
+}
+
+// Write writes [off, off+n) on behalf of spu as delayed writes: the data
+// lands in cache pages marked dirty and done runs as soon as frames are
+// available; a background flush (or the dirty high-water mark) pushes
+// the data to disk later under the shared SPU.
+func (fs *FileSystem) Write(spu core.SPUID, f *File, off, n int64, done func()) {
+	if n <= 0 {
+		done()
+		return
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+		if n <= 0 {
+			done()
+			return
+		}
+	}
+	first := off / mem.PageSize
+	last := (off + n - 1) / mem.PageSize
+	pending := 1 // guard, as in Read
+	fired := false
+	finish := func() {
+		if pending == 0 && !fired {
+			fired = true
+			done()
+			if fs.dirtyCount > fs.DirtyHighWater {
+				fs.Flush()
+			}
+		}
+	}
+	for idx := first; idx <= last; idx++ {
+		cp := fs.lookup(spu, f, idx)
+		if cp.page != nil {
+			fs.markDirty(cp, spu)
+			continue
+		}
+		if cp.io {
+			// A read is fetching this page; dirty it once present.
+			pending++
+			cp.waiters = append(cp.waiters, func() {
+				fs.markDirty(cp, spu)
+				pending--
+				finish()
+			})
+			continue
+		}
+		pending++
+		cp.io = true
+		cpIdx := idx
+		fs.withInsertLock(f, cpIdx, func() {
+			fs.mm.Request(spu, mem.Cache, cp, func(p *mem.Page) {
+				cp.page = p
+				cp.io = false
+				cp.valid = true // whole-page overwrite; no read-modify-write
+				fs.markDirty(cp, spu)
+				cp.notify()
+				pending--
+				finish()
+			})
+		})
+	}
+	pending-- // release the guard
+	finish()
+}
+
+// markDirty marks a resident cache page dirty on behalf of spu.
+func (fs *FileSystem) markDirty(cp *CachePage, spu core.SPUID) {
+	cp.dirtier = spu
+	if !cp.dirty {
+		cp.dirty = true
+		fs.dirtyCount++
+	}
+	fs.mm.MarkDirty(cp.page)
+	fs.mm.Touch(cp.page, spu)
+}
+
+// MetaUpdate models a metadata rewrite: a single-sector write to the
+// file's metadata sector, issued synchronously under the caller's SPU —
+// the pmake workload's "many repeated writes of meta-data to a single
+// sector" (§4.5).
+func (fs *FileSystem) MetaUpdate(spu core.SPUID, f *File, done func()) {
+	fs.Stat.MetaWrites++
+	fs.Stat.WriteReqs++
+	f.Disk.Submit(&disk.Request{
+		Kind:   disk.Write,
+		Sector: f.metaSector,
+		Count:  1,
+		SPU:    spu,
+		Done:   func(*disk.Request) { done() },
+	})
+}
+
+// Flush writes every dirty, idle cache page to disk in clustered
+// requests scheduled under the shared SPU, with per-page charges flowing
+// back to the SPUs that dirtied them (§3.3). FlushTick is the kernel's
+// periodic entry point; Flush may also fire on the high-water mark.
+func (fs *FileSystem) Flush() {
+	// Collect dirty pages grouped by file, iterating files in a
+	// deterministic order (map iteration order would make request
+	// submission order — and thus whole runs — irreproducible).
+	byFile := make(map[*File][]*CachePage)
+	var files []*File
+	for _, cp := range fs.cache {
+		if cp.dirty && !cp.io && cp.page != nil && !cp.page.Pinned {
+			if len(byFile[cp.file]) == 0 {
+				files = append(files, cp.file)
+			}
+			byFile[cp.file] = append(byFile[cp.file], cp)
+		}
+	}
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && files[j-1].Name > files[j].Name; j-- {
+			files[j-1], files[j] = files[j], files[j-1]
+		}
+	}
+	for _, f := range files {
+		cps := byFile[f]
+		// Sort by index (insertion sort: clusters are small and the map
+		// iteration order is random).
+		for i := 1; i < len(cps); i++ {
+			for j := i; j > 0 && cps[j-1].idx > cps[j].idx; j-- {
+				cps[j-1], cps[j] = cps[j], cps[j-1]
+			}
+		}
+		i := 0
+		for i < len(cps) {
+			cluster := []*CachePage{cps[i]}
+			for int64(len(cluster)) < fs.FlushClusterPages && i+len(cluster) < len(cps) {
+				prev, next := cluster[len(cluster)-1], cps[i+len(cluster)]
+				if next.idx != prev.idx+1 || !f.contiguousWith(prev.idx) {
+					break
+				}
+				cluster = append(cluster, next)
+			}
+			i += len(cluster)
+			fs.flushCluster(f, cluster)
+		}
+	}
+}
+
+// FlushTick is the bdflush daemon entry point, called by the kernel on
+// its flush period.
+func (fs *FileSystem) FlushTick() { fs.Flush() }
+
+// flushCluster writes one batch of dirty pages as a single shared-SPU
+// request.
+func (fs *FileSystem) flushCluster(f *File, cluster []*CachePage) {
+	charges := make(map[core.SPUID]int)
+	for _, cp := range cluster {
+		cp.page.Pinned = true
+		cp.io = true
+		charges[cp.dirtier] += mem.SectorsPerPage
+	}
+	var chargeList []disk.Charge
+	for spu, sectors := range charges {
+		chargeList = append(chargeList, disk.Charge{SPU: spu, Sectors: sectors})
+	}
+	for i := 1; i < len(chargeList); i++ {
+		for j := i; j > 0 && chargeList[j-1].SPU > chargeList[j].SPU; j-- {
+			chargeList[j-1], chargeList[j] = chargeList[j], chargeList[j-1]
+		}
+	}
+	fs.Stat.Flushes++
+	fs.Stat.WriteReqs++
+	f.Disk.Submit(&disk.Request{
+		Kind:    disk.Write,
+		Sector:  cluster[0].Sector(),
+		Count:   len(cluster) * mem.SectorsPerPage,
+		SPU:     core.SharedID,
+		Charges: chargeList,
+		Done: func(*disk.Request) {
+			for _, cp := range cluster {
+				cp.page.Pinned = false
+				cp.io = false
+				if cp.dirty {
+					cp.dirty = false
+					fs.dirtyCount--
+					cp.page.Dirty = false
+				}
+				cp.notify()
+			}
+		},
+	})
+}
+
+// WritebackEvicted is the kernel pageout hook for dirty *cache* pages
+// chosen by the memory manager's reclaim: it writes the page to its file
+// location under the shared SPU and calls done when the frame may be
+// reused.
+func (fs *FileSystem) WritebackEvicted(p *mem.Page, done func()) bool {
+	cp, ok := p.Owner.(*CachePage)
+	if !ok {
+		return false
+	}
+	fs.Stat.WriteReqs++
+	cp.file.Disk.Submit(&disk.Request{
+		Kind:    disk.Write,
+		Sector:  cp.file.SectorOfPage(cp.idx),
+		Count:   mem.SectorsPerPage,
+		SPU:     core.SharedID,
+		Charges: []disk.Charge{{SPU: cp.dirtier, Sectors: mem.SectorsPerPage}},
+		Done:    func(*disk.Request) { done() },
+	})
+	return true
+}

@@ -1,0 +1,48 @@
+package fs
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/mem"
+)
+
+// WritebackEvicted only handles cache pages; anonymous pages are the
+// kernel's job (swap).
+func TestWritebackEvictedRejectsNonCachePages(t *testing.T) {
+	r := newRig(100)
+	p := r.mm.Allocate(spuA, mem.Anon, nil)
+	if r.fs.WritebackEvicted(p, func() {}) {
+		t.Fatal("accepted an anonymous page")
+	}
+}
+
+func TestWritebackEvictedWritesCachePage(t *testing.T) {
+	r := newRig(1000)
+	f := r.al.NewFile("f", 16*1024, Contiguous, 0)
+	r.fs.ReadAheadPages = 0
+	r.fs.Write(spuA, f, 0, 4096, func() {})
+	r.eng.Run()
+	// Grab the cache page and push it through the eviction write path.
+	cps := r.fs.cacheSnapshot()
+	if len(cps) == 0 {
+		t.Fatal("no cache page")
+	}
+	p := cps[0].page
+	done := false
+	if !r.fs.WritebackEvicted(p, func() { done = true }) {
+		t.Fatal("rejected a cache page")
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("write-back never completed")
+	}
+	// The request runs under the shared SPU, but its sectors charge
+	// back to the dirtier's bandwidth account (§3.3).
+	if r.d.Usage(spuA) == 0 {
+		t.Fatal("write-back sectors not charged back to the dirtier")
+	}
+	if r.d.PerSPU[core.SharedID] == nil {
+		t.Fatal("write-back request not scheduled under the shared SPU")
+	}
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+)
+
+// §2.1: SPUs can be created dynamically. A third SPU created mid-run
+// gets its share after Rebalance, and the incumbents' entitlements
+// shrink accordingly.
+func TestDynamicSPUCreation(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{}) // 4 CPUs, 16 MB
+	a := k.NewSPU("a", 1)
+	b := k.NewSPU("b", 1)
+	k.Boot()
+	if a.Entitled(core.Memory) != 1536 {
+		t.Fatalf("initial entitlement %g", a.Entitled(core.Memory))
+	}
+	// Keep the machine alive with a long job while we reconfigure.
+	k.Spawn(proc.New(k, a.ID(), "bg", []proc.Step{proc.Compute{D: 500 * sim.Millisecond}}))
+	k.Engine().At(100*sim.Millisecond, "grow", func() {
+		c := k.NewSPU("c", 1)
+		k.Rebalance()
+		if c.Entitled(core.Memory) != 1024 {
+			t.Errorf("new SPU entitled %g, want 1024", c.Entitled(core.Memory))
+		}
+		if a.Entitled(core.Memory) != 1024 || b.Entitled(core.Memory) != 1024 {
+			t.Errorf("incumbents keep %g/%g, want 1024 each",
+				a.Entitled(core.Memory), b.Entitled(core.Memory))
+		}
+		// CPU homes: 4 CPUs across 3 SPUs -> shares of 1 or 2 with a
+		// rotor on the remainder.
+		counts := map[core.SPUID]int{}
+		for _, h := range k.Scheduler().Homes() {
+			counts[h]++
+		}
+		for _, s := range []*core.SPU{a, b, c} {
+			if counts[s.ID()] < 1 {
+				t.Errorf("SPU %d lost all CPUs: %v", s.ID(), k.Scheduler().Homes())
+			}
+		}
+	})
+	k.Run()
+}
+
+// §2.1: suspended SPUs release their resources; waking restores them.
+func TestSuspendAndWakeSPU(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{})
+	a := k.NewSPU("a", 1)
+	b := k.NewSPU("b", 1)
+	k.Boot()
+	b.Suspend()
+	k.Rebalance()
+	if a.Entitled(core.Memory) != 3072 {
+		t.Fatalf("a entitled %g after b suspended, want all 3072", a.Entitled(core.Memory))
+	}
+	for _, h := range k.Scheduler().Homes() {
+		if h != a.ID() {
+			t.Fatalf("CPU still homed at %d while only a is active", h)
+		}
+	}
+	b.Wake()
+	k.Rebalance()
+	if a.Entitled(core.Memory) != 1536 || b.Entitled(core.Memory) != 1536 {
+		t.Fatalf("entitlements after wake: %g/%g", a.Entitled(core.Memory), b.Entitled(core.Memory))
+	}
+}
+
+// Rebalancing while threads run must not strand them: re-homed CPUs
+// become loans and revocation hands them to the new owners within a
+// tick.
+func TestRebalanceRevokesRunningForeignThreads(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{})
+	a := k.NewSPU("a", 1)
+	k.Boot()
+	// a's hogs own all 4 CPUs.
+	for i := 0; i < 4; i++ {
+		k.Spawn(proc.New(k, a.ID(), "hog", []proc.Step{proc.Compute{D: 2 * sim.Second}}))
+	}
+	var bDone sim.Time
+	k.Engine().At(50*sim.Millisecond, "newspu", func() {
+		b := k.NewSPU("b", 1)
+		k.Rebalance()
+		p := proc.New(k, b.ID(), "newcomer", []proc.Step{proc.Compute{D: 100 * sim.Millisecond}})
+		p.OnExit = func(*proc.Process) { bDone = k.Engine().Now() }
+		k.Spawn(p)
+	})
+	k.Run()
+	if bDone == 0 {
+		t.Fatal("newcomer never ran")
+	}
+	// b wakes at 50ms, gets a CPU within a tick, runs 100ms.
+	if bDone > 170*sim.Millisecond {
+		t.Fatalf("newcomer finished at %v; revocation after rebalance too slow", bDone)
+	}
+}

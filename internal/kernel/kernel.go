@@ -1,0 +1,430 @@
+// Package kernel assembles the simulated machine: it wires the CPU
+// scheduler, memory manager, file system, and disks together under the
+// SPU resource manager, runs the periodic daemons (clock tick, memory
+// sharing policy, delayed-write flusher), and drives workloads to
+// completion. It is the stand-in for the modified IRIX 5.3 kernel of §3.
+package kernel
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/disk"
+	"perfiso/internal/fs"
+	"perfiso/internal/machine"
+	"perfiso/internal/mem"
+	"perfiso/internal/proc"
+	"perfiso/internal/sched"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/trace"
+)
+
+// Options tunes kernel behaviour. The zero value reproduces the paper's
+// configuration for the given scheme.
+type Options struct {
+	// DiskSched overrides the scheme's disk scheduling policy: "Pos",
+	// "Iso" or "PIso" (§4.5 compares all three on a PIso kernel).
+	DiskSched string
+	// BWThreshold is the PIso BW-difference threshold in sectors
+	// (disk.DefaultBWThreshold when zero).
+	BWThreshold float64
+	// DiskHalfLife is the bandwidth-usage decay half-life (500 ms when
+	// zero, per §3.3).
+	DiskHalfLife sim.Time
+	// DiskMerge enables adjacent-request coalescing in the disk driver
+	// (off by default: the paper's request counts assume the unmerged
+	// IRIX 5.3 driver).
+	DiskMerge bool
+	// Reserve is the memory Reserve Threshold fraction (8 % when zero,
+	// per §3.2).
+	Reserve float64
+	// InodeMutex switches the root inode lock back to mutual exclusion —
+	// the original IRIX 5.3 behaviour §3.4 had to fix. The zero value is
+	// the paper's fixed kernel (readers-writer).
+	InodeMutex bool
+	// PageInsertStripes sets the §3.4 page-insert-lock granularity:
+	// 1 reproduces the original coarse lock, 0 means the fixed kernel's
+	// default striping.
+	PageInsertStripes int
+	// IPIRevoke enables immediate CPU revocation (§3.1 extension).
+	IPIRevoke bool
+	// CacheReload enables the §3.1 cache-pollution cost model: extra
+	// CPU time paid by a thread dispatched onto a cold cache.
+	CacheReload sim.Time
+	// MinLoanInterval rate-limits CPU lending after a revocation
+	// (§3.1's "more sophisticated" sharing policy sketch).
+	MinLoanInterval sim.Time
+	// Slice is the scheduler time slice (30 ms when zero).
+	Slice sim.Time
+	// PolicyPeriod is the memory sharing-policy period (100 ms when 0).
+	PolicyPeriod sim.Time
+	// FlushPeriod is the delayed-write flush period (500 ms when 0).
+	FlushPeriod sim.Time
+	// Seed seeds all deterministic randomness (file placement).
+	Seed uint64
+	// TraceCapacity, when positive, turns on decision tracing with a
+	// ring of that many events (see internal/trace).
+	TraceCapacity int
+	// TimelinePeriod, when positive, samples each user SPU's CPU and
+	// memory usage at that period into a Timeline (pisosim -timeline).
+	TimelinePeriod sim.Time
+	// Horizon aborts the simulation if processes are still alive after
+	// this much simulated time (default 3600 s) — a hang detector.
+	Horizon sim.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.BWThreshold <= 0 {
+		o.BWThreshold = disk.DefaultBWThreshold
+	}
+	if o.DiskHalfLife <= 0 {
+		o.DiskHalfLife = 500 * sim.Millisecond
+	}
+	if o.PolicyPeriod <= 0 {
+		o.PolicyPeriod = 100 * sim.Millisecond
+	}
+	if o.FlushPeriod <= 0 {
+		o.FlushPeriod = 500 * sim.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 3600 * sim.Second
+	}
+	return o
+}
+
+// Kernel is one booted machine.
+type Kernel struct {
+	eng    *sim.Engine
+	cfg    machine.Config
+	scheme core.Scheme
+	opts   Options
+
+	spus   *core.Manager
+	sch    *sched.Scheduler
+	mm     *mem.Manager
+	fsys   *fs.FileSystem
+	disks  []*disk.Disk
+	allocs []*fs.Allocator
+	rng    *sim.RNG
+
+	// Per-SPU disk affinity: swap and default file placement.
+	affinity map[core.SPUID]int
+	swapNext map[int]int64
+
+	procs     []*proc.Process
+	liveProcs int
+
+	tickers  []*sim.Ticker
+	booted   bool
+	tracer   *trace.Tracer
+	timeline *stats.Timeline
+}
+
+// New builds (but does not boot) a kernel on the given hardware with
+// the given resource allocation scheme.
+func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
+	cfg.Validate()
+	opts = opts.withDefaults()
+	eng := sim.NewEngine()
+	spus := core.NewManager()
+	k := &Kernel{
+		eng:      eng,
+		cfg:      cfg,
+		scheme:   scheme,
+		opts:     opts,
+		spus:     spus,
+		rng:      sim.NewRNG(opts.Seed),
+		affinity: make(map[core.SPUID]int),
+		swapNext: make(map[int]int64),
+	}
+	k.sch = sched.New(eng, spus, cfg.CPUs, sched.Options{
+		Slice:           opts.Slice,
+		IPIRevoke:       opts.IPIRevoke,
+		CacheReload:     opts.CacheReload,
+		MinLoanInterval: opts.MinLoanInterval,
+	})
+	k.mm = mem.NewManager(eng, spus, cfg.Pages(), opts.Reserve)
+	inodeMode := fs.SemRW
+	if opts.InodeMutex {
+		inodeMode = fs.SemMutex
+	}
+	k.fsys = fs.New(eng, k.mm, inodeMode)
+	if opts.PageInsertStripes > 0 {
+		k.fsys.SetPageInsertStripes(opts.PageInsertStripes)
+	}
+	for _, dp := range cfg.Disks {
+		d := disk.New(eng, dp, k.diskScheduler(), opts.DiskHalfLife)
+		d.Merge = opts.DiskMerge
+		k.disks = append(k.disks, d)
+		k.allocs = append(k.allocs, fs.NewAllocator(d, k.rng.Fork()))
+	}
+	if opts.TraceCapacity > 0 {
+		k.tracer = trace.New(eng, opts.TraceCapacity)
+		k.sch.Trace = k.tracer
+		k.mm.Trace = k.tracer
+	}
+	k.mm.SetPageout(k.pageout)
+	// A little kernel memory: code and data pinned at boot (4 MB),
+	// charged to the kernel SPU so its cost falls on everyone (§2.2).
+	for i := 0; i < 4*machine.MB/mem.PageSize; i++ {
+		p := k.mm.Allocate(core.KernelID, mem.Kernel, nil)
+		if p != nil {
+			p.Pinned = true
+		}
+	}
+	return k
+}
+
+// diskScheduler builds the disk scheduling policy implied by the scheme
+// or the DiskSched override.
+func (k *Kernel) diskScheduler() disk.Scheduler {
+	name := k.opts.DiskSched
+	if name == "" {
+		switch k.scheme {
+		case core.SMP:
+			name = "Pos"
+		case core.Quo:
+			name = "Iso"
+		default:
+			name = "PIso"
+		}
+	}
+	switch name {
+	case "Pos":
+		return disk.NewPos()
+	case "Iso":
+		return disk.NewIso()
+	case "PIso":
+		return disk.NewPIso(k.opts.BWThreshold)
+	default:
+		panic(fmt.Sprintf("kernel: unknown disk scheduler %q", name))
+	}
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Scheduler returns the CPU scheduler.
+func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
+
+// Memory returns the memory manager.
+func (k *Kernel) Memory() *mem.Manager { return k.mm }
+
+// FS returns the file system.
+func (k *Kernel) FS() *fs.FileSystem { return k.fsys }
+
+// SPUs returns the SPU manager.
+func (k *Kernel) SPUs() *core.Manager { return k.spus }
+
+// Tracer returns the decision tracer, or nil when tracing is off.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
+
+// Scheme returns the machine's resource allocation scheme.
+func (k *Kernel) Scheme() core.Scheme { return k.scheme }
+
+// Disk returns disk i.
+func (k *Kernel) Disk(i int) *disk.Disk { return k.disks[i] }
+
+// NumDisks returns the number of disks.
+func (k *Kernel) NumDisks() int { return len(k.disks) }
+
+// Allocator returns the file allocator of disk i.
+func (k *Kernel) Allocator(i int) *fs.Allocator { return k.allocs[i] }
+
+// NewSPU creates a user SPU whose sharing policy follows the machine's
+// scheme, with the given relative weight.
+func (k *Kernel) NewSPU(name string, weight float64) *core.SPU {
+	s := k.spus.NewSPU(name, weight, k.scheme.Policy())
+	// Default disk affinity: spread SPUs across disks round-robin.
+	k.affinity[s.ID()] = (int(s.ID()) - int(core.FirstUserID)) % len(k.disks)
+	return s
+}
+
+// SetAffinity pins an SPU's swap and default file placement to disk i.
+func (k *Kernel) SetAffinity(spu core.SPUID, diskIdx int) {
+	if diskIdx < 0 || diskIdx >= len(k.disks) {
+		panic(fmt.Sprintf("kernel: disk %d out of range", diskIdx))
+	}
+	k.affinity[spu] = diskIdx
+}
+
+// AffinityDisk returns the disk an SPU's swap traffic goes to.
+func (k *Kernel) AffinityDisk(spu core.SPUID) *disk.Disk {
+	return k.disks[k.affinity[spu]]
+}
+
+// AffinityAllocator returns the file allocator on the SPU's disk.
+func (k *Kernel) AffinityAllocator(spu core.SPUID) *fs.Allocator {
+	return k.allocs[k.affinity[spu]]
+}
+
+// Boot divides resources per the contract and starts the daemons: the
+// 10 ms clock tick (priority decay, CPU revocation), the memory sharing
+// policy, and the delayed-write flusher.
+func (k *Kernel) Boot() {
+	if k.booted {
+		panic("kernel: double boot")
+	}
+	k.booted = true
+	k.sch.AssignHomes()
+	k.mm.DivideAmongSPUs()
+	for i, d := range k.disks {
+		// Per-disk bandwidth shares: equal weights among the SPUs with
+		// affinity to this disk; harmless default for the rest.
+		for spu, di := range k.affinity {
+			if di == i {
+				d.SetShare(spu, k.spus.Get(spu).Weight())
+			}
+		}
+	}
+	k.tickers = append(k.tickers,
+		k.eng.Every(sched.TickPeriod, "kernel.tick", k.sch.Tick),
+		k.eng.Every(k.opts.PolicyPeriod, "kernel.mempolicy", k.mm.PolicyTick),
+		k.eng.Every(k.opts.FlushPeriod, "kernel.bdflush", k.fsys.FlushTick),
+	)
+	if k.opts.TimelinePeriod > 0 {
+		k.timeline = stats.NewTimeline()
+		k.tickers = append(k.tickers,
+			k.eng.Every(k.opts.TimelinePeriod, "kernel.timeline", k.sampleTimeline))
+	}
+}
+
+// sampleTimeline records each user SPU's instantaneous CPU occupancy
+// (in CPUs) and memory usage (in MB).
+func (k *Kernel) sampleTimeline() {
+	for _, s := range k.spus.Users() {
+		k.timeline.Record("cpu "+s.Name(), s.Used(core.CPU))
+		k.timeline.Record("mem "+s.Name(), s.Used(core.Memory)*mem.PageSize/float64(machine.MB))
+	}
+}
+
+// Timeline returns the usage timeline, or nil when sampling is off.
+func (k *Kernel) Timeline() *stats.Timeline { return k.timeline }
+
+// Rebalance re-divides CPUs and memory among the currently active SPUs.
+// Call it after creating, suspending, or waking SPUs at runtime (§2.1:
+// "SPUs can be created and destroyed dynamically, or could be suspended
+// ... and awakened at a later time"). CPUs re-home immediately (running
+// foreign threads become loans, revoked at the next tick); memory
+// entitlements shift and the reclaim path enforces the new limits.
+func (k *Kernel) Rebalance() {
+	k.sch.AssignHomes()
+	k.mm.PolicyTick()
+}
+
+// Spawn registers and starts a process.
+func (k *Kernel) Spawn(p *proc.Process) {
+	if !k.booted {
+		panic("kernel: Spawn before Boot")
+	}
+	k.Track(p)
+	p.Start()
+}
+
+// Track registers a process with the kernel's liveness accounting
+// without starting it. Only roots need tracking: children created with
+// proc.Fork are covered by their parent's WaitChildren step.
+func (k *Kernel) Track(p *proc.Process) {
+	k.procs = append(k.procs, p)
+	k.liveProcs++
+	prev := p.OnExit
+	p.OnExit = func(pp *proc.Process) {
+		k.liveProcs--
+		if prev != nil {
+			prev(pp)
+		}
+	}
+}
+
+// Run drives the simulation until every tracked process has exited,
+// then stops the daemons and drains residual events. It returns the
+// completion time. It panics if the horizon passes with processes
+// still alive — a deadlock in the machine model.
+func (k *Kernel) Run() sim.Time {
+	if !k.booted {
+		panic("kernel: Run before Boot")
+	}
+	for k.liveProcs > 0 {
+		if !k.eng.Step() {
+			panic(fmt.Sprintf("kernel: event queue drained with %d processes alive", k.liveProcs))
+		}
+		if k.eng.Now() > k.opts.Horizon {
+			panic(fmt.Sprintf("kernel: horizon %v exceeded with %d processes alive", k.opts.Horizon, k.liveProcs))
+		}
+	}
+	end := k.eng.Now()
+	for _, t := range k.tickers {
+		t.Stop()
+	}
+	k.eng.Run() // drain in-flight IO and daemons
+	return end
+}
+
+// pageout routes dirty evicted pages to backing store: cache pages to
+// their file location, anonymous pages to the owning SPU's swap region,
+// both scheduled under the shared SPU with charge-back (§3.3).
+func (k *Kernel) pageout(p *mem.Page, done func()) {
+	if k.fsys.WritebackEvicted(p, done) {
+		return
+	}
+	d := k.AffinityDisk(p.SPU)
+	d.Submit(&disk.Request{
+		Kind:    disk.Write,
+		Sector:  k.swapSlot(p.SPU, mem.SectorsPerPage),
+		Count:   mem.SectorsPerPage,
+		SPU:     core.SharedID,
+		Charges: []disk.Charge{{SPU: p.SPU, Sectors: mem.SectorsPerPage}},
+		Done:    func(*disk.Request) { done() },
+	})
+}
+
+// swapSlot hands out sectors in the swap region — the top eighth of the
+// SPU's affinity disk — round-robin.
+func (k *Kernel) swapSlot(spu core.SPUID, sectors int64) int64 {
+	di := k.affinity[spu]
+	d := k.disks[di]
+	total := d.Params().TotalSectors()
+	region := total / 8
+	base := total - region
+	off := k.swapNext[di]
+	if off+sectors > region {
+		off = 0
+	}
+	k.swapNext[di] = off + sectors
+	return base + off
+}
+
+// SwapIn implements proc.Env: clustered reads from the SPU's swap
+// region, 4 pages per request.
+func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
+	if pages <= 0 {
+		done()
+		return
+	}
+	d := k.AffinityDisk(spu)
+	reqs := (pages + 3) / 4
+	left := reqs
+	for i := 0; i < reqs; i++ {
+		n := 4
+		if i == reqs-1 {
+			n = pages - 4*(reqs-1)
+		}
+		count := n * mem.SectorsPerPage
+		d.Submit(&disk.Request{
+			Kind:   disk.Read,
+			Sector: k.swapSlot(spu, int64(count)),
+			Count:  count,
+			SPU:    spu,
+			Done: func(*disk.Request) {
+				left--
+				if left == 0 {
+					done()
+				}
+			},
+		})
+	}
+}

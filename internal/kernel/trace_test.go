@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/trace"
+)
+
+// The tracer must record the mechanism behind PIso's sharing: loans of
+// idle CPUs followed by revocations when the owner wakes.
+func TestTraceRecordsLoansAndRevocations(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{TraceCapacity: 4096})
+	a := k.NewSPU("a", 1)
+	b := k.NewSPU("b", 1)
+	k.Boot()
+	// b overloads its 2 CPUs; a is mostly idle but wakes periodically.
+	for i := 0; i < 4; i++ {
+		k.Spawn(proc.New(k, b.ID(), "hog", []proc.Step{proc.Compute{D: 2 * sim.Second}}))
+	}
+	k.Spawn(proc.New(k, a.ID(), "blinker", proc.Seq(
+		proc.Loop(10, proc.Compute{D: 10 * sim.Millisecond}, proc.Sleep{D: 90 * sim.Millisecond}),
+	)))
+	k.Run()
+	tr := k.Tracer()
+	if tr == nil {
+		t.Fatal("tracer not enabled")
+	}
+	if len(tr.Find("loan")) == 0 {
+		t.Fatal("no loans traced despite an overloaded neighbour")
+	}
+	if len(tr.Find("revoke")) == 0 {
+		t.Fatal("no revocations traced despite the owner waking repeatedly")
+	}
+	if tr.Count(trace.Sched) == 0 {
+		t.Fatal("sched events not counted")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{})
+	if k.Tracer() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+}
+
+// Memory lending and revocation leave a trace trail too.
+func TestTraceRecordsMemoryPolicy(t *testing.T) {
+	k := New(smallMachine(), core.PIso, Options{TraceCapacity: 8192})
+	a := k.NewSPU("a", 1)
+	k.NewSPU("b", 1)
+	k.Boot()
+	k.Spawn(proc.New(k, a.ID(), "big", proc.Seq(
+		[]proc.Step{proc.Touch{Pages: 2200}}, // beyond a's 1536-page share
+		proc.Loop(3, proc.Compute{D: 10 * sim.Millisecond}),
+	)))
+	k.Run()
+	tr := k.Tracer()
+	if len(tr.Find("lend")) == 0 {
+		t.Fatal("no memory lending traced")
+	}
+	if tr.Count(trace.Policy) == 0 {
+		t.Fatal("no policy events counted")
+	}
+}

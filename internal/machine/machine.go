@@ -1,0 +1,71 @@
+// Package machine describes the simulated hardware: processor count,
+// memory size, and disks. The canned configurations correspond to the
+// rows of Table 1 in the paper (the workloads' "System Parameters"
+// column), modeling the SGI CHALLENGE machines SimOS was configured as.
+package machine
+
+import (
+	"fmt"
+
+	"perfiso/internal/disk"
+)
+
+// MB is one megabyte in bytes.
+const MB = 1 << 20
+
+// Config describes one machine.
+type Config struct {
+	Name     string
+	CPUs     int
+	MemoryMB int
+	Disks    []disk.Params
+}
+
+// Pages returns the number of 4 KB page frames.
+func (c Config) Pages() int { return c.MemoryMB * MB / 4096 }
+
+// Validate panics on nonsensical configurations; experiment code builds
+// these statically, so failing fast is right.
+func (c Config) Validate() {
+	if c.CPUs <= 0 || c.MemoryMB <= 0 || len(c.Disks) == 0 {
+		panic(fmt.Sprintf("machine: invalid config %+v", c))
+	}
+}
+
+// fastDisks returns n independent fast disks ("separate fast disks" in
+// Table 1), which keep IO from perturbing CPU- and memory-focused
+// experiments.
+func fastDisks(n int) []disk.Params {
+	out := make([]disk.Params, n)
+	for i := range out {
+		out[i] = disk.FastDisk()
+	}
+	return out
+}
+
+// Pmake8 is the Table 1 row for the Pmake8 workload: 8 CPUs, 44 MB,
+// separate fast disks (one per SPU).
+func Pmake8() Config {
+	return Config{Name: "pmake8", CPUs: 8, MemoryMB: 44, Disks: fastDisks(8)}
+}
+
+// CPUIsolation is the Table 1 row for the CPU isolation workload:
+// 8 CPUs, 64 MB, separate fast disks.
+func CPUIsolation() Config {
+	return Config{Name: "cpu-isolation", CPUs: 8, MemoryMB: 64, Disks: fastDisks(2)}
+}
+
+// MemoryIsolation is the Table 1 row for the memory isolation workload:
+// 4 CPUs, deliberately small 16 MB memory, separate fast disks.
+func MemoryIsolation() Config {
+	return Config{Name: "memory-isolation", CPUs: 4, MemoryMB: 16, Disks: fastDisks(2)}
+}
+
+// DiskIsolation is the Table 1 row for the disk bandwidth workloads:
+// 2 CPUs, 44 MB, one shared HP 97560 with the paper's seek scaling of
+// two ("the model has half the seek latency of the regular disk").
+func DiskIsolation() Config {
+	hp := disk.HP97560()
+	hp.SeekScale = 0.5
+	return Config{Name: "disk-isolation", CPUs: 2, MemoryMB: 44, Disks: []disk.Params{hp}}
+}

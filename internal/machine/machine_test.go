@@ -1,0 +1,49 @@
+package machine
+
+import "testing"
+
+func TestCannedConfigsMatchTable1(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		cpus  int
+		memMB int
+		disks int
+	}{
+		{Pmake8(), 8, 44, 8},
+		{CPUIsolation(), 8, 64, 2},
+		{MemoryIsolation(), 4, 16, 2},
+		{DiskIsolation(), 2, 44, 1},
+	}
+	for _, c := range cases {
+		c.cfg.Validate()
+		if c.cfg.CPUs != c.cpus || c.cfg.MemoryMB != c.memMB || len(c.cfg.Disks) != c.disks {
+			t.Errorf("%s: got %d CPUs / %d MB / %d disks, want %d/%d/%d",
+				c.cfg.Name, c.cfg.CPUs, c.cfg.MemoryMB, len(c.cfg.Disks), c.cpus, c.memMB, c.disks)
+		}
+	}
+}
+
+func TestPagesConversion(t *testing.T) {
+	if got := MemoryIsolation().Pages(); got != 4096 { // 16 MB / 4 KB
+		t.Fatalf("Pages = %d", got)
+	}
+}
+
+func TestDiskIsolationUsesHalfSeek(t *testing.T) {
+	cfg := DiskIsolation()
+	if cfg.Disks[0].SeekScale != 0.5 {
+		t.Fatal("§4.5 requires the seek scaling factor of two")
+	}
+	if cfg.Disks[0].Name != "HP97560" {
+		t.Fatal("disk workloads use the HP97560 model")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Config{Name: "bad"}.Validate()
+}

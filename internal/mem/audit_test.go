@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/core"
+)
+
+func TestKindString(t *testing.T) {
+	if Anon.String() != "anon" || Cache.String() != "cache" || Kernel.String() != "kernel" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	_, _, m, us := rig(1, core.ShareIdle, 10)
+	p := m.Allocate(us[0].ID(), Anon, nil)
+	m.Release(p)
+	if m.UsedPages() != 0 {
+		t.Fatal("Release did not free")
+	}
+	m.Release(p) // second release is a no-op, not a panic
+	if m.UsedPages() != 0 {
+		t.Fatal("double Release corrupted state")
+	}
+}
+
+func TestPressuredFlag(t *testing.T) {
+	_, _, m, us := rig(2, core.ShareNone, 20) // 10 pages each
+	o := &testOwner{}
+	for i := 0; i < 10; i++ {
+		p := m.Allocate(us[0].ID(), Anon, o)
+		p.Pinned = true
+	}
+	if m.Pressured(us[0].ID()) {
+		t.Fatal("pressure before any denial")
+	}
+	m.Allocate(us[0].ID(), Anon, o) // denied
+	if !m.Pressured(us[0].ID()) {
+		t.Fatal("denial did not set pressure")
+	}
+	m.PolicyTick()
+	if m.Pressured(us[0].ID()) {
+		t.Fatal("policy tick did not clear pressure")
+	}
+}
+
+func TestAuditCleanState(t *testing.T) {
+	_, _, m, us := rig(2, core.ShareIdle, 100)
+	o := &testOwner{}
+	var pages []*Page
+	for i := 0; i < 30; i++ {
+		pages = append(pages, m.Allocate(us[i%2].ID(), Anon, o))
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages[:10] {
+		m.Free(p)
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditDetectsCorruption(t *testing.T) {
+	_, spus, m, us := rig(1, core.ShareIdle, 100)
+	m.Allocate(us[0].ID(), Anon, nil)
+	// Corrupt the books: charge without a page.
+	spus.Get(us[0].ID()).Charge(core.Memory, 5)
+	err := m.Audit()
+	if err == nil {
+		t.Fatal("audit missed a phantom charge")
+	}
+	if !strings.Contains(err.Error(), "mem audit") {
+		t.Fatalf("error %v lacks context", err)
+	}
+}
+
+func TestAuditDetectsUnderCharge(t *testing.T) {
+	_, spus, m, us := rig(1, core.ShareIdle, 100)
+	m.Allocate(us[0].ID(), Anon, nil)
+	m.Allocate(us[0].ID(), Anon, nil)
+	spus.Get(us[0].ID()).Charge(core.Memory, -1) // lost a charge
+	if m.Audit() == nil {
+		t.Fatal("audit missed a missing charge")
+	}
+}
+
+// Exercise the global-fallback reclaim branch: memory exhausted by the
+// kernel SPU (which has no allowed limit), waiters from user SPUs.
+func TestGlobalFallbackReclaim(t *testing.T) {
+	_, _, m, us := rig(1, core.ShareAll, 50)
+	o := &testOwner{}
+	for i := 0; i < 50; i++ {
+		m.Allocate(core.KernelID, Kernel, o)
+	}
+	var got *Page
+	m.Request(us[0].ID(), Anon, o, func(p *Page) { got = p })
+	if got == nil {
+		t.Fatal("global fallback did not reclaim a kernel page for the waiter")
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hasLoans edge: ShareNone SPUs never count as borrowers.
+func TestHasLoansIgnoresShareNone(t *testing.T) {
+	_, _, m, us := rig(1, core.ShareNone, 100)
+	us[0].SetEntitled(core.Memory, 10)
+	// Raise allowed above entitled directly (simulating stale state).
+	us[0].SetAllowed(core.Memory, 20)
+	if m.hasLoans() {
+		t.Fatal("ShareNone SPU counted as borrower")
+	}
+}

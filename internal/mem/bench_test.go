@@ -1,0 +1,54 @@
+package mem
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+)
+
+// BenchmarkAllocateFree measures the uncontended allocation path.
+func BenchmarkAllocateFree(b *testing.B) {
+	_, _, m, us := rig(1, core.ShareIdle, 1<<16)
+	o := &testOwner{}
+	for i := 0; i < b.N; i++ {
+		p := m.Allocate(us[0].ID(), Anon, o)
+		if p == nil {
+			b.Fatal("allocation failed")
+		}
+		m.Free(p)
+	}
+}
+
+// BenchmarkReplacementChurn measures the reclaim path: an SPU at its
+// limit faulting pages in a loop (every request evicts its own LRU).
+func BenchmarkReplacementChurn(b *testing.B) {
+	_, _, m, us := rig(2, core.ShareNone, 2048) // 1024 per SPU
+	o := &testOwner{}
+	for i := 0; i < 1024; i++ {
+		m.Allocate(us[0].ID(), Anon, o)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := false
+		m.Request(us[0].ID(), Anon, o, func(*Page) { got = true })
+		if !got {
+			b.Fatal("request blocked (pageout path engaged unexpectedly)")
+		}
+	}
+}
+
+// BenchmarkPolicyTick measures the sharing-policy pass over a populated
+// machine.
+func BenchmarkPolicyTick(b *testing.B) {
+	_, _, m, us := rig(8, core.ShareIdle, 1<<14)
+	o := &testOwner{}
+	for i := range us {
+		for j := 0; j < 1000; j++ {
+			m.Allocate(us[i].ID(), Anon, o)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PolicyTick()
+	}
+}

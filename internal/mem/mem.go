@@ -1,0 +1,354 @@
+// Package mem implements the physical memory manager with per-SPU
+// isolation and sharing (§3.2 of the paper).
+//
+// Every page frame is charged to an SPU. An SPU may not use more frames
+// than its allowed level; a request beyond the limit is denied and the
+// requester waits while the reclaim path evicts pages (writing dirty ones
+// to disk through a kernel-supplied pageout function). A sharing policy
+// periodically redistributes idle pages — the total free pages less a
+// Reserve Threshold (8 % of memory, the value IRIX uses to decide it is
+// low on memory) — to SPUs under memory pressure by raising their allowed
+// levels, and revokes the loans when the owners need the pages back.
+//
+// Pages accessed by more than one SPU are re-tagged to the shared SPU,
+// and kernel pages to the kernel SPU; only the remaining frames are
+// divided among user SPUs (§2.2), which the policy tick re-evaluates.
+package mem
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/trace"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// SectorsPerPage is how many 512-byte disk sectors one page occupies.
+const SectorsPerPage = PageSize / 512
+
+// DefaultReserve is the Reserve Threshold fraction: 8 % of total memory,
+// the value the paper chose because IRIX uses it to decide it is running
+// low on memory (§3.2).
+const DefaultReserve = 0.08
+
+// Kind classifies what a page frame is used for.
+type Kind int
+
+const (
+	// Anon is process anonymous memory (heap, stack, data).
+	Anon Kind = iota
+	// Cache is file buffer-cache or file meta-data memory; the paper
+	// charges these to the SPU that caused them (§3.2).
+	Cache
+	// Kernel is kernel code/data, always charged to the kernel SPU.
+	Kernel
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Anon:
+		return "anon"
+	case Cache:
+		return "cache"
+	default:
+		return "kernel"
+	}
+}
+
+// Owner is the object a page belongs to (a process resident set or a
+// buffer-cache entry). The manager calls Evicted when it reclaims the
+// page; the owner must forget the page and fault it back in later if
+// needed.
+type Owner interface {
+	PageEvicted(p *Page)
+}
+
+// Page is one physical page frame in use.
+type Page struct {
+	SPU     core.SPUID
+	Kind    Kind
+	Dirty   bool
+	Pinned  bool // never evicted while pinned (e.g. in-flight disk IO)
+	LastUse sim.Time
+	Owner   Owner
+
+	evicting bool
+	index    int // position in Manager.pages, -1 when free
+}
+
+// PageoutFunc writes a dirty page's contents to backing store and calls
+// done when the write completes. The kernel wires this to the right disk;
+// tests may complete synchronously.
+type PageoutFunc func(p *Page, done func())
+
+// waiter is a pending allocation that could not be satisfied.
+type waiter struct {
+	spu   core.SPUID
+	kind  Kind
+	owner Owner
+	fn    func(*Page)
+}
+
+// Stats aggregates memory-manager statistics.
+type Stats struct {
+	Allocations  int64
+	Denials      int64 // allocation attempts denied (limit or no memory)
+	Evictions    int64
+	DirtyWrites  int64
+	Retags       int64 // pages re-tagged to the shared SPU
+	FreePages    stats.TimeWeighted
+	WaitQueueLen stats.TimeWeighted
+}
+
+// Manager is the physical memory manager for one machine.
+type Manager struct {
+	eng   *sim.Engine
+	spus  *core.Manager
+	total int // total page frames
+
+	reserve float64 // fraction of total kept free (Reserve Threshold)
+	pageout PageoutFunc
+
+	pages    []*Page // frames currently in use
+	inFlight int     // frames being evicted (still counted as used)
+	waiters  []waiter
+	pressure map[core.SPUID]bool // SPUs that hit their limit since last policy tick
+
+	reclaiming bool // reentrancy guards: eviction frees pages, which
+	serving    bool // serves waiters, which may allocate and deny again
+
+	Stat Stats
+	// Trace, when non-nil, records evictions and policy decisions.
+	Trace *trace.Tracer
+}
+
+// NewManager creates a memory manager with the given number of page
+// frames. reserve <= 0 selects DefaultReserve.
+func NewManager(eng *sim.Engine, spus *core.Manager, totalPages int, reserve float64) *Manager {
+	if totalPages <= 0 {
+		panic(fmt.Sprintf("mem: totalPages = %d", totalPages))
+	}
+	if reserve <= 0 {
+		reserve = DefaultReserve
+	}
+	m := &Manager{
+		eng:      eng,
+		spus:     spus,
+		total:    totalPages,
+		reserve:  reserve,
+		pressure: make(map[core.SPUID]bool),
+	}
+	m.Stat.FreePages.Set(eng.Now(), float64(totalPages))
+	return m
+}
+
+// SetPageout installs the dirty-page write-back function.
+func (m *Manager) SetPageout(fn PageoutFunc) { m.pageout = fn }
+
+// TotalPages returns the configured number of frames.
+func (m *Manager) TotalPages() int { return m.total }
+
+// UsedPages returns the number of frames in use (including frames whose
+// eviction write-back is still in flight).
+func (m *Manager) UsedPages() int { return len(m.pages) + m.inFlight }
+
+// FreePages returns the number of frames immediately available.
+func (m *Manager) FreePages() int { return m.total - m.UsedPages() }
+
+// ReservePages returns the Reserve Threshold in pages.
+func (m *Manager) ReservePages() int { return int(m.reserve * float64(m.total)) }
+
+// DivideAmongSPUs recomputes user SPUs' entitled/allowed memory from the
+// frames not consumed by the kernel and shared SPUs (§2.2, §3.2). The
+// kernel calls this at boot and from the policy tick.
+func (m *Manager) DivideAmongSPUs() {
+	overhead := int(m.spus.Kernel().Used(core.Memory) + m.spus.Shared().Used(core.Memory))
+	avail := m.total - overhead
+	if avail < 0 {
+		avail = 0
+	}
+	m.spus.DivideIntegral(core.Memory, avail)
+}
+
+// Allocate tries to allocate one frame for the SPU. It returns nil when
+// the SPU is at its allowed limit or the machine is out of frames; in
+// that case the caller should use Request to wait.
+func (m *Manager) Allocate(spu core.SPUID, kind Kind, owner Owner) *Page {
+	s := m.spus.Get(spu)
+	if kind == Kernel {
+		s = m.spus.Kernel()
+	}
+	if m.FreePages() == 0 || !s.CanUse(core.Memory, 1) {
+		m.Stat.Denials++
+		if spu.IsUser() {
+			m.pressure[spu] = true
+		}
+		m.kickReclaim()
+		return nil
+	}
+	p := &Page{SPU: s.ID(), Kind: kind, LastUse: m.eng.Now(), Owner: owner, index: len(m.pages)}
+	m.pages = append(m.pages, p)
+	s.Charge(core.Memory, 1)
+	m.Stat.Allocations++
+	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
+	return p
+}
+
+// Request allocates a frame, delivering it through fn. If no frame is
+// available now, the request queues and fn runs later, when reclaim or a
+// loan makes a frame available. Waiters are served FIFO.
+func (m *Manager) Request(spu core.SPUID, kind Kind, owner Owner, fn func(*Page)) {
+	if p := m.Allocate(spu, kind, owner); p != nil {
+		fn(p)
+		return
+	}
+	m.waiters = append(m.waiters, waiter{spu: spu, kind: kind, owner: owner, fn: fn})
+	m.Stat.WaitQueueLen.Set(m.eng.Now(), float64(len(m.waiters)))
+	// Now that the waiter is visible, run the pager so replacement or
+	// revocation can free a frame for it.
+	m.kickReclaim()
+	m.serveWaiters()
+}
+
+// Release frees a frame if it is still held, and is a no-op if the
+// frame was already freed or is mid-eviction. Process exit uses this:
+// freeing one page can wake waiters whose allocations trigger reclaim,
+// which may concurrently take other pages of the same exiting process.
+func (m *Manager) Release(p *Page) {
+	if p.index < 0 {
+		return
+	}
+	m.Free(p)
+}
+
+// Free releases a frame back to the pool.
+func (m *Manager) Free(p *Page) {
+	if p.index < 0 {
+		panic("mem: double free")
+	}
+	m.unlink(p)
+	m.spus.Get(p.SPU).Charge(core.Memory, -1)
+	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
+	m.serveWaiters()
+}
+
+// unlink removes the page from the in-use list.
+func (m *Manager) unlink(p *Page) {
+	last := len(m.pages) - 1
+	i := p.index
+	m.pages[i] = m.pages[last]
+	m.pages[i].index = i
+	m.pages = m.pages[:last]
+	p.index = -1
+}
+
+// Touch records a use of the page by the given SPU at the current time.
+// A user page touched by a second user SPU is re-tagged to the shared
+// SPU, so its cost is borne by everyone (§3.2).
+func (m *Manager) Touch(p *Page, by core.SPUID) {
+	p.LastUse = m.eng.Now()
+	if p.index < 0 || !by.IsUser() || !p.SPU.IsUser() || p.SPU == by {
+		return
+	}
+	m.spus.Get(p.SPU).Charge(core.Memory, -1)
+	m.spus.Shared().Charge(core.Memory, 1)
+	p.SPU = core.SharedID
+	m.Stat.Retags++
+}
+
+// MarkDirty flags the page as needing write-back before reuse.
+func (m *Manager) MarkDirty(p *Page) { p.Dirty = true }
+
+// Waiters returns the number of queued allocation requests.
+func (m *Manager) Waiters() int { return len(m.waiters) }
+
+// Pressured reports whether the SPU has hit its memory limit since the
+// last policy tick.
+func (m *Manager) Pressured(spu core.SPUID) bool { return m.pressure[spu] }
+
+// Audit verifies the manager's internal consistency: page-list linkage,
+// frame conservation, and agreement between SPU charges and actual page
+// ownership. It returns a descriptive error on the first violation.
+// Intended for tests and the stress harness; it is O(pages).
+func (m *Manager) Audit() error {
+	for i, p := range m.pages {
+		if p.index != i {
+			return fmt.Errorf("mem audit: page at slot %d has index %d", i, p.index)
+		}
+	}
+	if got := len(m.pages) + m.inFlight; got+m.FreePages() != m.total {
+		return fmt.Errorf("mem audit: used %d + free %d != total %d", got, m.FreePages(), m.total)
+	}
+	counts := make(map[core.SPUID]int)
+	for _, p := range m.pages {
+		counts[p.SPU]++
+	}
+	// In-flight evictions keep their SPU charge until write-back ends,
+	// so per-SPU charges may exceed the owned-page count by at most the
+	// total in-flight frames.
+	var charged float64
+	slack := m.inFlight
+	for _, s := range m.spus.All() {
+		u := s.Used(core.Memory)
+		charged += u
+		owned := counts[s.ID()]
+		if int(u) < owned {
+			return fmt.Errorf("mem audit: SPU %d charged %.0f but owns %d pages", s.ID(), u, owned)
+		}
+		if int(u) > owned+slack {
+			return fmt.Errorf("mem audit: SPU %d charged %.0f, owns %d (+%d in flight)",
+				s.ID(), u, owned, slack)
+		}
+	}
+	if int(charged) != len(m.pages)+m.inFlight {
+		return fmt.Errorf("mem audit: total charges %.0f != %d frames in use",
+			charged, len(m.pages)+m.inFlight)
+	}
+	return nil
+}
+
+// serveWaiters retries queued allocation requests in FIFO order,
+// stopping at the first that still cannot be satisfied (to preserve
+// ordering within and across SPUs).
+func (m *Manager) serveWaiters() {
+	if m.serving {
+		return
+	}
+	m.serving = true
+	defer func() { m.serving = false }()
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		p := m.Allocate(w.spu, w.kind, w.owner)
+		if p == nil {
+			// Head-of-line waiter is stuck; try to find any other waiter
+			// from a different SPU that can proceed, so one throttled SPU
+			// does not block the whole machine.
+			served := false
+			for i := 1; i < len(m.waiters); i++ {
+				if m.waiters[i].spu == w.spu {
+					continue
+				}
+				if p2 := m.Allocate(m.waiters[i].spu, m.waiters[i].kind, m.waiters[i].owner); p2 != nil {
+					fn := m.waiters[i].fn
+					m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+					m.Stat.WaitQueueLen.Set(m.eng.Now(), float64(len(m.waiters)))
+					fn(p2)
+					served = true
+					break
+				}
+			}
+			if !served {
+				return
+			}
+			continue
+		}
+		m.waiters = m.waiters[1:]
+		m.Stat.WaitQueueLen.Set(m.eng.Now(), float64(len(m.waiters)))
+		w.fn(p)
+	}
+}

@@ -1,0 +1,189 @@
+package mem
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/trace"
+)
+
+// kickReclaim runs the pager: it enforces allowed limits (revocation),
+// performs page replacement for SPUs thrashing against their own limit,
+// and falls back to global LRU reclaim when the machine itself is out of
+// frames. It is triggered by allocation denials and by the policy tick.
+func (m *Manager) kickReclaim() {
+	if m.reclaiming {
+		return
+	}
+	m.reclaiming = true
+	defer func() { m.reclaiming = false }()
+
+	// 1. Revocation: any user SPU holding more than its allowed level
+	// must give the excess back (§2.3). This happens when the sharing
+	// policy lowers a borrower's allowed limit.
+	for _, s := range m.spus.Users() {
+		if s.Policy() == core.ShareAll {
+			continue
+		}
+		over := int(s.Used(core.Memory) - s.Allowed(core.Memory))
+		for i := 0; i < over; i++ {
+			if !m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() }) {
+				break
+			}
+		}
+	}
+
+	// 2. If the free pool is exhausted and SPUs below their entitlement
+	// are waiting, revoke loans from borrowers first.
+	if m.FreePages() == 0 && m.waitersUnderEntitled() {
+		m.revokeLoans(len(m.waiters))
+	}
+
+	// 3. Page replacement: a waiter blocked by its own SPU's limit gets
+	// one of that SPU's own pages evicted so it can proceed — the
+	// within-SPU thrashing a too-small share produces.
+	for _, w := range m.waiters {
+		s := m.spus.Get(w.spu)
+		if s.Policy() == core.ShareAll {
+			continue
+		}
+		if s.Used(core.Memory) >= s.Allowed(core.Memory) && s.Used(core.Memory) > 0 {
+			m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() })
+		}
+	}
+
+	// 4. Global fallback: machine out of frames but waiters remain
+	// (unconstrained SMP sharing, or shared/kernel growth). Evict the
+	// least-recently-used pages regardless of owner.
+	guard := len(m.waiters)
+	for m.FreePages() == 0 && len(m.waiters) > 0 && guard > 0 {
+		if !m.evictFrom(func(p *Page) bool { return true }) {
+			break
+		}
+		guard--
+	}
+}
+
+// waitersUnderEntitled reports whether any queued waiter belongs to an
+// SPU using less than its entitlement — the signal that loaned resources
+// must come back.
+func (m *Manager) waitersUnderEntitled() bool {
+	for _, w := range m.waiters {
+		if !w.spu.IsUser() {
+			continue
+		}
+		s := m.spus.Get(w.spu)
+		if s.Used(core.Memory) < s.Entitled(core.Memory) {
+			return true
+		}
+	}
+	return false
+}
+
+// revokeLoans lowers borrowers' allowed levels back toward their
+// entitlement, most-borrowed first, until roughly needed pages' worth of
+// loans have been called in, then evicts the resulting excess.
+func (m *Manager) revokeLoans(needed int) {
+	type borrower struct {
+		s    *core.SPU
+		over int
+	}
+	var bs []borrower
+	for _, s := range m.spus.Users() {
+		if s.Policy() != core.ShareIdle {
+			continue
+		}
+		over := int(s.Used(core.Memory) - s.Entitled(core.Memory))
+		if over > 0 && s.Allowed(core.Memory) > s.Entitled(core.Memory) {
+			bs = append(bs, borrower{s, over})
+		}
+	}
+	for needed > 0 && len(bs) > 0 {
+		// Take from the biggest borrower.
+		bi := 0
+		for i := range bs {
+			if bs[i].over > bs[bi].over {
+				bi = i
+			}
+		}
+		b := bs[bi]
+		take := needed
+		if take > b.over {
+			take = b.over
+		}
+		target := b.s.Allowed(core.Memory) - float64(take)
+		if ent := b.s.Entitled(core.Memory); target < ent {
+			target = ent
+		}
+		b.s.SetAllowed(core.Memory, target)
+		m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", b.s.ID()), "revoke-loan",
+			"%d pages (allowed now %.0f)", take, target)
+		needed -= take
+		bs = append(bs[:bi], bs[bi+1:]...)
+	}
+	// Enforce the lowered limits.
+	for _, s := range m.spus.Users() {
+		over := int(s.Used(core.Memory) - s.Allowed(core.Memory))
+		for i := 0; i < over; i++ {
+			if !m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() }) {
+				break
+			}
+		}
+	}
+}
+
+// evictFrom evicts the least-recently-used unpinned page satisfying the
+// predicate, preferring clean pages (which free instantly) over dirty
+// ones (which must be written back first) — the standard pageout-daemon
+// optimization; without it every fault under memory pressure pays a
+// full write-back plus a swap-in and the machine collapses rather than
+// degrades. It returns false when no page qualifies. Dirty write-back
+// goes through the pageout function; the frame frees when the write
+// completes — the revocation cost the Reserve Threshold hides (§3.2).
+func (m *Manager) evictFrom(want func(*Page) bool) bool {
+	var victim, dirtyVictim *Page
+	for _, p := range m.pages {
+		if p.Pinned || p.evicting || !want(p) {
+			continue
+		}
+		if p.Dirty {
+			if dirtyVictim == nil || p.LastUse < dirtyVictim.LastUse {
+				dirtyVictim = p
+			}
+			continue
+		}
+		if victim == nil || p.LastUse < victim.LastUse {
+			victim = p
+		}
+	}
+	if victim == nil {
+		victim = dirtyVictim
+	}
+	if victim == nil {
+		return false
+	}
+	m.Stat.Evictions++
+	m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "evict",
+		"%s page, dirty=%v", victim.Kind, victim.Dirty)
+	if victim.Owner != nil {
+		victim.Owner.PageEvicted(victim)
+	}
+	if victim.Dirty && m.pageout != nil {
+		m.Stat.DirtyWrites++
+		victim.evicting = true
+		m.unlink(victim)
+		m.inFlight++
+		m.pageout(victim, func() {
+			m.inFlight--
+			m.spus.Get(victim.SPU).Charge(core.Memory, -1)
+			m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
+			m.serveWaiters()
+		})
+		return true
+	}
+	if victim.Dirty {
+		m.Stat.DirtyWrites++
+	}
+	m.Free(victim)
+	return true
+}

@@ -1,0 +1,165 @@
+package netbw
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+const (
+	spuA = core.FirstUserID
+	spuB = core.FirstUserID + 1
+)
+
+func TestSinglePacketTransmission(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 10e6, FCFS, 0, 0) // 10 MB/s
+	var fin *Packet
+	l.Send(&Packet{Bytes: 10000, SPU: spuA, Done: func(p *Packet) { fin = p }})
+	eng.Run()
+	if fin == nil {
+		t.Fatal("packet never transmitted")
+	}
+	// 10 KB at 10 MB/s = 1 ms + 20 us per-packet cost.
+	want := sim.Millisecond + 20*sim.Microsecond
+	if fin.Latency() != want {
+		t.Fatalf("latency %v, want %v", fin.Latency(), want)
+	}
+}
+
+func TestEmptyPacketPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 1e6, FCFS, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Send(&Packet{Bytes: 0, SPU: spuA})
+}
+
+func TestBadLineRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLink(sim.NewEngine(), 0, FCFS, 0, 0)
+}
+
+func TestFCFSOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 1e6, FCFS, 0, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		l.Send(&Packet{Bytes: 1000, SPU: spuA, Done: func(*Packet) { order = append(order, i) }})
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+// A burst from one SPU delays the other under FCFS; the Fair policy
+// interleaves so the light sender's packets get through — the paper's
+// disk-fairness story transplanted to a link.
+func TestFairPolicyProtectsLightSender(t *testing.T) {
+	run := func(policy Policy) sim.Time {
+		eng := sim.NewEngine()
+		l := NewLink(eng, 10e6, policy, 8*1024, 0)
+		l.SetShare(spuA, 1)
+		l.SetShare(spuB, 1)
+		// A floods 200 big packets; B sends 10 small ones, all at t=0.
+		for i := 0; i < 200; i++ {
+			l.Send(&Packet{Bytes: 64 * 1024, SPU: spuA})
+		}
+		var lastB sim.Time
+		for i := 0; i < 10; i++ {
+			l.Send(&Packet{Bytes: 1024, SPU: spuB, Done: func(p *Packet) { lastB = p.Finished }})
+		}
+		eng.Run()
+		return lastB
+	}
+	fcfs := run(FCFS)
+	fair := run(Fair)
+	if fair >= fcfs {
+		t.Fatalf("Fair (%v) did not beat FCFS (%v) for the light sender", fair, fcfs)
+	}
+	if fair > fcfs/4 {
+		t.Fatalf("Fair (%v) should protect the light sender much better than FCFS (%v)", fair, fcfs)
+	}
+}
+
+// With two saturating senders of equal share, the Fair policy splits
+// bytes evenly even when their packet sizes differ.
+func TestFairBandwidthSplit(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 10e6, Fair, 8*1024, 0)
+	var sendA, sendB func()
+	sendA = func() {
+		l.Send(&Packet{Bytes: 32 * 1024, SPU: spuA, Done: func(*Packet) { sendA() }})
+	}
+	sendB = func() {
+		l.Send(&Packet{Bytes: 4 * 1024, SPU: spuB, Done: func(*Packet) { sendB() }})
+	}
+	for i := 0; i < 4; i++ {
+		sendA()
+		sendB()
+	}
+	eng.RunUntil(5 * sim.Second)
+	a, b := float64(l.PerSPU[spuA].Bytes), float64(l.PerSPU[spuB].Bytes)
+	if a == 0 || b == 0 {
+		t.Fatal("a sender starved")
+	}
+	if ratio := a / b; ratio > 1.5 || ratio < 1/1.5 {
+		t.Fatalf("byte split %.2f:1, want ~1:1", ratio)
+	}
+}
+
+// Weighted shares hold: an SPU with weight 3 gets ~3x the bytes.
+func TestWeightedShares(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 10e6, Fair, 4*1024, 0)
+	l.SetShare(spuA, 3)
+	l.SetShare(spuB, 1)
+	var sendA, sendB func()
+	sendA = func() { l.Send(&Packet{Bytes: 8 * 1024, SPU: spuA, Done: func(*Packet) { sendA() }}) }
+	sendB = func() { l.Send(&Packet{Bytes: 8 * 1024, SPU: spuB, Done: func(*Packet) { sendB() }}) }
+	for i := 0; i < 4; i++ {
+		sendA()
+		sendB()
+	}
+	eng.RunUntil(5 * sim.Second)
+	ratio := float64(l.PerSPU[spuA].Bytes) / float64(l.PerSPU[spuB].Bytes)
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Fatalf("weighted split %.2f:1, want ~3:1", ratio)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "FCFS" || Fair.String() != "Fair" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestQueueLenAndStats(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 1e6, FCFS, 0, 0)
+	for i := 0; i < 5; i++ {
+		l.Send(&Packet{Bytes: 1000, SPU: spuA})
+	}
+	if l.QueueLen() != 4 { // one in transmission
+		t.Fatalf("QueueLen = %d", l.QueueLen())
+	}
+	eng.Run()
+	if l.Total.Packets != 5 || l.Total.Bytes != 5000 {
+		t.Fatalf("totals: %d packets, %d bytes", l.Total.Packets, l.Total.Bytes)
+	}
+	if l.PerSPU[spuA].Wait.N() != 5 {
+		t.Fatal("per-SPU wait samples missing")
+	}
+}

@@ -1,0 +1,50 @@
+package proc
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+func TestThreadAccessors(t *testing.T) {
+	env, us := newEnv(1, core.ShareIdle, 1, 100)
+	p := New(env, us[0].ID(), "acc", []Step{Compute{D: 50 * sim.Millisecond}})
+	th := p.Thread()
+	if th == nil || th.Name != "acc" {
+		t.Fatal("Thread() accessor broken")
+	}
+	if th.OnCPU() != -1 {
+		t.Fatal("idle thread reports a CPU")
+	}
+	p.Start()
+	if !th.Runnable() && !th.Running() {
+		t.Fatal("started compute thread neither runnable nor running")
+	}
+	if th.Running() && th.OnCPU() < 0 {
+		t.Fatal("running thread without a CPU index")
+	}
+	run(env, sim.Second)
+	if th.Priority() <= 0 {
+		t.Fatal("thread consumed CPU but priority value is zero")
+	}
+	if p.Resident() != 0 {
+		t.Fatalf("resident = %d after exit", p.Resident())
+	}
+}
+
+func TestStateProgression(t *testing.T) {
+	env, us := newEnv(1, core.ShareIdle, 1, 100)
+	p := New(env, us[0].ID(), "st", []Step{Sleep{D: 10 * sim.Millisecond}})
+	if p.State() != Created {
+		t.Fatal("fresh process not Created")
+	}
+	p.Start()
+	if p.State() != Running {
+		t.Fatal("started process not Running")
+	}
+	run(env, sim.Second)
+	if p.State() != Exited {
+		t.Fatal("finished process not Exited")
+	}
+}

@@ -1,0 +1,228 @@
+// Package proc implements the process model: a process is an
+// event-driven state machine owned by the simulated kernel, executing a
+// program of steps — CPU bursts, file reads/writes, metadata updates,
+// pathname lookups, working-set growth, fork/wait, and barriers.
+//
+// A process's CPU demand flows through the scheduler (so it is subject to
+// SPU space partitioning, lending and revocation), its working set
+// through the memory manager (so it faults and thrashes when its SPU's
+// share is too small), and its file operations through the file system
+// and disks (so it queues behind other SPUs' disk traffic).
+package proc
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fs"
+	"perfiso/internal/mem"
+	"perfiso/internal/sched"
+	"perfiso/internal/sim"
+)
+
+// Env is the slice of the kernel a process interacts with. The kernel
+// package implements it; tests may substitute lighter rigs.
+type Env interface {
+	Engine() *sim.Engine
+	Scheduler() *sched.Scheduler
+	Memory() *mem.Manager
+	FS() *fs.FileSystem
+	// SwapIn reads pages back from swap space on behalf of spu, calling
+	// done when they are in memory (the frames themselves must already
+	// have been allocated by the caller).
+	SwapIn(spu core.SPUID, pages int, done func())
+}
+
+// State is a process's lifecycle state.
+type State int
+
+const (
+	// Created means Start has not run yet.
+	Created State = iota
+	// Running means the process is executing its program (on CPU, in a
+	// queue, or blocked on IO/memory/children/barriers).
+	Running
+	// Exited means the program completed and resources were released.
+	Exited
+)
+
+// Process is one simulated process.
+type Process struct {
+	Name string
+	SPU  core.SPUID
+
+	env   Env
+	steps []Step
+	pc    int
+
+	thread *sched.Thread
+	state  State
+
+	// Working set.
+	resident  []*mem.Page
+	swapped   int // pages evicted since last use; re-touch swaps them in
+	wssTarget int
+
+	// Process tree.
+	parent       *Process
+	liveChildren int
+	waitingKids  bool
+
+	// OnExit, if set, runs when the process finishes.
+	OnExit func(*Process)
+
+	// Statistics.
+	Started  sim.Time
+	Finished sim.Time
+	Faults   int64 // page faults taken (first-touch and swap-in)
+	SwapIns  int64 // faults that required reading from swap
+}
+
+// New creates a process ready to Start.
+func New(env Env, spu core.SPUID, name string, steps []Step) *Process {
+	p := &Process{Name: name, SPU: spu, env: env, steps: steps}
+	p.thread = &sched.Thread{Name: name, SPU: spu}
+	return p
+}
+
+// State returns the process state.
+func (p *Process) State() State { return p.state }
+
+// ResponseTime returns Finished-Started; it panics if the process has
+// not exited (reading a response time early is a harness bug).
+func (p *Process) ResponseTime() sim.Time {
+	if p.state != Exited {
+		panic(fmt.Sprintf("proc: response time of %q read before exit", p.Name))
+	}
+	return p.Finished - p.Started
+}
+
+// Resident returns the current resident set size in pages.
+func (p *Process) Resident() int { return len(p.resident) }
+
+// Thread exposes the process's scheduler thread (for stats).
+func (p *Process) Thread() *sched.Thread { return p.thread }
+
+// Start begins execution.
+func (p *Process) Start() {
+	if p.state != Created {
+		panic("proc: Start on a non-fresh process " + p.Name)
+	}
+	p.state = Running
+	p.Started = p.env.Engine().Now()
+	p.advance()
+}
+
+// PageEvicted implements mem.Owner: the pager took one of our pages.
+func (p *Process) PageEvicted(pg *mem.Page) {
+	for i, q := range p.resident {
+		if q == pg {
+			p.resident = append(p.resident[:i], p.resident[i+1:]...)
+			p.swapped++
+			return
+		}
+	}
+}
+
+// advance executes program steps until one blocks.
+func (p *Process) advance() {
+	if p.state != Running {
+		return
+	}
+	if p.pc >= len(p.steps) {
+		p.exit()
+		return
+	}
+	step := p.steps[p.pc]
+	p.pc++
+	step.run(p)
+}
+
+// next is the continuation most steps pass to asynchronous services.
+func (p *Process) next() { p.advance() }
+
+// exit releases resources and notifies the parent.
+func (p *Process) exit() {
+	p.state = Exited
+	p.Finished = p.env.Engine().Now()
+	// Detach the resident set before freeing: each Free may wake memory
+	// waiters whose allocations reclaim other pages of this very set.
+	pages := p.resident
+	p.resident = nil
+	for _, pg := range pages {
+		p.env.Memory().Release(pg)
+	}
+	p.env.Scheduler().Exit(p.thread)
+	if p.parent != nil {
+		p.parent.childExited()
+	}
+	if p.OnExit != nil {
+		p.OnExit(p)
+	}
+}
+
+func (p *Process) childExited() {
+	p.liveChildren--
+	if p.liveChildren < 0 {
+		panic("proc: child count underflow in " + p.Name)
+	}
+	if p.waitingKids && p.liveChildren == 0 {
+		p.waitingKids = false
+		p.advance()
+	}
+}
+
+// ensureResident faults the working set up to wssTarget pages, then
+// calls done. Missing pages that were swapped out cost swap-in reads;
+// brand-new pages are zero-filled (no disk). Allocation itself may block
+// under the SPU's memory limit, which is where Quo's thrashing comes
+// from.
+func (p *Process) ensureResident(done func()) {
+	missing := p.wssTarget - len(p.resident)
+	if missing <= 0 {
+		p.touchAll()
+		done()
+		return
+	}
+	needSwap := missing
+	if needSwap > p.swapped {
+		needSwap = p.swapped
+	}
+	fresh := missing - needSwap
+	got := 0
+	var allocOne func()
+	allocOne = func() {
+		if got == missing {
+			p.swapped -= needSwap
+			p.SwapIns += int64(needSwap)
+			p.touchAll()
+			if needSwap > 0 {
+				p.env.SwapIn(p.SPU, needSwap, done)
+			} else {
+				done()
+			}
+			return
+		}
+		p.env.Memory().Request(p.SPU, mem.Anon, p, func(pg *mem.Page) {
+			// First-touch pages are dirty (the app wrote them); pages
+			// re-read from swap arrive clean — their contents already
+			// live on disk, so a later eviction is free. Without this a
+			// thrashing SPU pays a write-back *and* a swap-in per fault
+			// and degradation turns into collapse.
+			pg.Dirty = got < fresh
+			p.resident = append(p.resident, pg)
+			p.Faults++
+			got++
+			allocOne()
+		})
+	}
+	allocOne()
+}
+
+// touchAll refreshes the LRU clock on the resident set.
+func (p *Process) touchAll() {
+	mm := p.env.Memory()
+	for _, pg := range p.resident {
+		mm.Touch(pg, p.SPU)
+	}
+}

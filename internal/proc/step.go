@@ -1,0 +1,173 @@
+package proc
+
+import (
+	"perfiso/internal/fs"
+	"perfiso/internal/sim"
+)
+
+// Step is one instruction of a process program.
+type Step interface {
+	run(p *Process)
+}
+
+// Compute consumes D of CPU time through the scheduler, after making
+// sure the working set is resident (faulting it in if the pager took
+// pages away).
+type Compute struct {
+	D sim.Time
+}
+
+func (s Compute) run(p *Process) {
+	if s.D <= 0 {
+		p.next()
+		return
+	}
+	p.ensureResident(func() {
+		p.thread.Remaining = s.D
+		p.thread.BurstDone = p.next
+		p.env.Scheduler().Wake(p.thread)
+	})
+}
+
+// Read reads [Off, Off+N) of File through the buffer cache.
+type Read struct {
+	File *fs.File
+	Off  int64
+	N    int64
+}
+
+func (s Read) run(p *Process) {
+	p.env.FS().Read(p.SPU, s.File, s.Off, s.N, p.next)
+}
+
+// Write writes [Off, Off+N) of File as delayed writes.
+type Write struct {
+	File *fs.File
+	Off  int64
+	N    int64
+}
+
+func (s Write) run(p *Process) {
+	p.env.FS().Write(p.SPU, s.File, s.Off, s.N, p.next)
+}
+
+// Meta performs a metadata rewrite on File (one synchronous sector).
+type Meta struct {
+	File *fs.File
+}
+
+func (s Meta) run(p *Process) {
+	p.env.FS().MetaUpdate(p.SPU, s.File, p.next)
+}
+
+// Lookup performs a pathname lookup through the root inode semaphore.
+type Lookup struct{}
+
+func (s Lookup) run(p *Process) {
+	p.env.FS().Lookup(p.SPU, p.next)
+}
+
+// Touch sets the process working-set target to Pages; subsequent Compute
+// steps keep that many pages resident.
+type Touch struct {
+	Pages int
+}
+
+func (s Touch) run(p *Process) {
+	p.wssTarget = s.Pages
+	p.ensureResident(p.next)
+}
+
+// Fork starts a child process and continues immediately.
+type Fork struct {
+	Child *Process
+}
+
+func (s Fork) run(p *Process) {
+	s.Child.parent = p
+	p.liveChildren++
+	s.Child.Start()
+	p.next()
+}
+
+// WaitChildren blocks until every forked child has exited.
+type WaitChildren struct{}
+
+func (s WaitChildren) run(p *Process) {
+	if p.liveChildren == 0 {
+		p.next()
+		return
+	}
+	p.waitingKids = true
+}
+
+// Sleep blocks the process for D without using any resources (think
+// waiting on an external event).
+type Sleep struct {
+	D sim.Time
+}
+
+func (s Sleep) run(p *Process) {
+	p.env.Engine().After(s.D, "proc.sleep", p.next)
+}
+
+// Barrier synchronizes a gang of processes: each arrival blocks until
+// Need processes have arrived, then all proceed. Barriers are reusable
+// (they reset after releasing), which is how iterative parallel
+// applications like Ocean use them.
+type Barrier struct {
+	Need    int
+	arrived []func()
+}
+
+// NewBarrier creates a barrier for a gang of need processes.
+func NewBarrier(need int) *Barrier {
+	if need <= 0 {
+		panic("proc: barrier with non-positive need")
+	}
+	return &Barrier{Need: need}
+}
+
+// Arrive registers one arrival; when the gang is complete, all waiters
+// resume (in arrival order) and the barrier resets.
+func (b *Barrier) Arrive(done func()) {
+	b.arrived = append(b.arrived, done)
+	if len(b.arrived) < b.Need {
+		return
+	}
+	ws := b.arrived
+	b.arrived = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Waiting returns how many processes are blocked at the barrier.
+func (b *Barrier) Waiting() int { return len(b.arrived) }
+
+// BarrierStep makes the process arrive at B and wait for the gang.
+type BarrierStep struct {
+	B *Barrier
+}
+
+func (s BarrierStep) run(p *Process) {
+	s.B.Arrive(p.next)
+}
+
+// Loop expands a body repeated Times times at program-build time.
+func Loop(times int, body ...Step) []Step {
+	out := make([]Step, 0, times*len(body))
+	for i := 0; i < times; i++ {
+		out = append(out, body...)
+	}
+	return out
+}
+
+// Seq concatenates step slices into one program.
+func Seq(parts ...[]Step) []Step {
+	var out []Step
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

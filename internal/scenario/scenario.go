@@ -1,0 +1,295 @@
+// Package scenario runs declarative simulation specs: a JSON document
+// describes the machine, the allocation scheme, the SPUs and their
+// workloads, and the runner boots the kernel, executes everything, and
+// reports per-job response times — so experiments can be described in a
+// file instead of Go code (pisosim -spec).
+//
+// Example spec:
+//
+//	{
+//	  "machine": "memory-isolation",
+//	  "scheme": "PIso",
+//	  "spus": [
+//	    {"name": "alice", "weight": 1, "disk": 0},
+//	    {"name": "bob", "weight": 2, "disk": 1}
+//	  ],
+//	  "jobs": [
+//	    {"type": "pmake", "spu": "alice", "name": "build"},
+//	    {"type": "copy", "spu": "bob", "name": "backup", "bytes": 5242880}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// Spec is the top-level scenario document.
+type Spec struct {
+	// Machine names a Table 1 configuration: "pmake8", "cpu-isolation",
+	// "memory-isolation", or "disk-isolation".
+	Machine string `json:"machine"`
+	// Scheme is "SMP", "Quo", or "PIso".
+	Scheme string `json:"scheme"`
+	// DiskSched optionally overrides the disk policy ("Pos"/"Iso"/"PIso").
+	DiskSched string `json:"disk_sched,omitempty"`
+	// IPIRevoke enables immediate CPU revocation.
+	IPIRevoke bool `json:"ipi_revoke,omitempty"`
+	// Seed overrides the deterministic seed.
+	Seed uint64 `json:"seed,omitempty"`
+
+	SPUs []SPUSpec `json:"spus"`
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// SPUSpec declares one SPU.
+type SPUSpec struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`         // 0 means 1
+	Disk   *int    `json:"disk,omitempty"` // affinity; default round-robin
+}
+
+// JobSpec declares one workload instance.
+type JobSpec struct {
+	// Type is one of "pmake", "copy", "ocean", "flashlite", "vcs",
+	// "server", "compute".
+	Type string `json:"type"`
+	// SPU names the owning SPU (must appear in SPUs).
+	SPU  string `json:"spu"`
+	Name string `json:"name"`
+
+	// Copy: file size in bytes.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Pmake: parallelism override (0 keeps the default shape).
+	Parallel int `json:"parallel,omitempty"`
+	// Compute/flashlite/vcs: total CPU milliseconds (0 keeps default).
+	ComputeMS int64 `json:"compute_ms,omitempty"`
+	// Working-set pages override (pmake/ocean/compute).
+	WSSPages int `json:"wss_pages,omitempty"`
+	// Server: request count and interarrival override.
+	Requests       int   `json:"requests,omitempty"`
+	InterarrivalMS int64 `json:"interarrival_ms,omitempty"`
+}
+
+// JobResult is one finished job's outcome.
+type JobResult struct {
+	Name     string  `json:"name"`
+	SPU      string  `json:"spu"`
+	Type     string  `json:"type"`
+	RespSecs float64 `json:"response_seconds"`
+	// MaxLatencySecs is set for server jobs (worst request).
+	MaxLatencySecs float64 `json:"max_latency_seconds,omitempty"`
+}
+
+// Result is the scenario outcome.
+type Result struct {
+	MakespanSecs   float64     `json:"makespan_seconds"`
+	CPUUtilization float64     `json:"cpu_utilization"`
+	Jobs           []JobResult `json:"jobs"`
+}
+
+// Parse decodes and validates a spec document.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if _, err := s.machine(); err != nil {
+		return err
+	}
+	if _, err := s.scheme(); err != nil {
+		return err
+	}
+	if len(s.SPUs) == 0 {
+		return fmt.Errorf("scenario: no SPUs declared")
+	}
+	names := make(map[string]bool)
+	for _, sp := range s.SPUs {
+		if sp.Name == "" {
+			return fmt.Errorf("scenario: SPU with empty name")
+		}
+		if names[sp.Name] {
+			return fmt.Errorf("scenario: duplicate SPU %q", sp.Name)
+		}
+		names[sp.Name] = true
+	}
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("scenario: no jobs declared")
+	}
+	for _, j := range s.Jobs {
+		if !names[j.SPU] {
+			return fmt.Errorf("scenario: job %q references unknown SPU %q", j.Name, j.SPU)
+		}
+		switch j.Type {
+		case "pmake", "copy", "ocean", "flashlite", "vcs", "server", "compute":
+		default:
+			return fmt.Errorf("scenario: job %q has unknown type %q", j.Name, j.Type)
+		}
+		if j.Type == "copy" && j.Bytes <= 0 {
+			return fmt.Errorf("scenario: copy job %q needs bytes > 0", j.Name)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) machine() (machine.Config, error) {
+	switch s.Machine {
+	case "pmake8":
+		return machine.Pmake8(), nil
+	case "cpu-isolation":
+		return machine.CPUIsolation(), nil
+	case "memory-isolation", "":
+		return machine.MemoryIsolation(), nil
+	case "disk-isolation":
+		return machine.DiskIsolation(), nil
+	default:
+		return machine.Config{}, fmt.Errorf("scenario: unknown machine %q", s.Machine)
+	}
+}
+
+func (s *Spec) scheme() (core.Scheme, error) {
+	switch s.Scheme {
+	case "SMP":
+		return core.SMP, nil
+	case "Quo":
+		return core.Quo, nil
+	case "PIso", "":
+		return core.PIso, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown scheme %q", s.Scheme)
+	}
+}
+
+// Run executes the scenario to completion.
+func (s *Spec) Run() (*Result, error) {
+	cfg, err := s.machine()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := s.scheme()
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(cfg, scheme, kernel.Options{
+		DiskSched: s.DiskSched,
+		IPIRevoke: s.IPIRevoke,
+		Seed:      s.Seed,
+	})
+	spus := make(map[string]*core.SPU)
+	for _, sp := range s.SPUs {
+		w := sp.Weight
+		if w <= 0 {
+			w = 1
+		}
+		u := k.NewSPU(sp.Name, w)
+		if sp.Disk != nil {
+			k.SetAffinity(u.ID(), *sp.Disk)
+		}
+		spus[sp.Name] = u
+	}
+	k.Boot()
+
+	type runningJob struct {
+		spec JobSpec
+		p    *proc.Process
+		srv  *workload.ServerJob
+	}
+	var jobs []runningJob
+	for _, j := range s.Jobs {
+		spu := spus[j.SPU].ID()
+		var rj runningJob
+		rj.spec = j
+		switch j.Type {
+		case "pmake":
+			params := workload.DefaultPmake()
+			if j.Parallel > 0 {
+				params.Parallel = j.Parallel
+			}
+			if j.WSSPages > 0 {
+				params.WSSPages = j.WSSPages
+			}
+			rj.p = workload.Pmake(k, spu, j.Name, params)
+		case "copy":
+			rj.p = workload.Copy(k, spu, j.Name, workload.DefaultCopy(j.Bytes))
+		case "ocean":
+			params := workload.DefaultOcean()
+			if j.WSSPages > 0 {
+				params.WSSPages = j.WSSPages
+			}
+			rj.p = workload.Ocean(k, spu, j.Name, params)
+		case "flashlite", "vcs", "compute":
+			var params workload.ComputeParams
+			switch j.Type {
+			case "flashlite":
+				params = workload.DefaultFlashlite()
+			case "vcs":
+				params = workload.DefaultVCS()
+			default:
+				params = workload.ComputeParams{Total: sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 100}
+			}
+			if j.ComputeMS > 0 {
+				params.Total = sim.Time(j.ComputeMS) * sim.Millisecond
+			}
+			if j.WSSPages > 0 {
+				params.WSSPages = j.WSSPages
+			}
+			rj.p = workload.ComputeBound(k, spu, j.Name, params)
+		case "server":
+			params := workload.DefaultServer()
+			if j.Requests > 0 {
+				params.Requests = j.Requests
+			}
+			if j.InterarrivalMS > 0 {
+				params.Interarrival = sim.Time(j.InterarrivalMS) * sim.Millisecond
+			}
+			srv := workload.Server(k, spu, j.Name, params)
+			rj.p = srv.Root
+			rj.srv = srv
+		}
+		k.Spawn(rj.p)
+		jobs = append(jobs, rj)
+	}
+	end := k.Run()
+
+	res := &Result{
+		MakespanSecs:   end.Seconds(),
+		CPUUtilization: k.Scheduler().Utilization(),
+	}
+	for _, rj := range jobs {
+		jr := JobResult{
+			Name:     rj.spec.Name,
+			SPU:      rj.spec.SPU,
+			Type:     rj.spec.Type,
+			RespSecs: rj.p.ResponseTime().Seconds(),
+		}
+		if rj.srv != nil {
+			jr.MaxLatencySecs = rj.srv.MaxLatency().Seconds()
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	return res, nil
+}
+
+// JSON renders the result as indented JSON.
+func (r *Result) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // Result contains only marshalable fields
+	}
+	return string(b)
+}

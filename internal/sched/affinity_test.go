@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// With CacheReload on, a thread bouncing between CPUs pays for each
+// migration; a thread that keeps its CPU does not.
+func TestCacheReloadChargesColdDispatches(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 1)
+	s.opts.CacheReload = 5 * sim.Millisecond
+	// Two threads sharing one CPU: every alternation is a cold cache.
+	var d1 sim.Time
+	t1 := &Thread{Name: "t1", SPU: us[0].ID(), Remaining: 90 * sim.Millisecond}
+	t1.BurstDone = func() { d1 = eng.Now() }
+	t2 := &Thread{Name: "t2", SPU: us[0].ID(), Remaining: 90 * sim.Millisecond}
+	s.Wake(t1)
+	s.Wake(t2)
+	runTicks(eng, s, 2*sim.Second)
+	if s.Stat.CacheReloads == 0 {
+		t.Fatal("no cache reloads counted for alternating threads")
+	}
+	// t1 needed 90ms of its own plus reload penalties: it must finish
+	// later than the no-pollution interleaving bound (120ms..180ms).
+	if d1 <= 180*sim.Millisecond {
+		t.Fatalf("t1 finished at %v; pollution cost missing", d1)
+	}
+}
+
+func TestCacheReloadFreeWhenCacheOwned(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 2)
+	s.opts.CacheReload = 5 * sim.Millisecond
+	// Two threads, two CPUs: each keeps its CPU; after the first
+	// dispatch no reload is ever charged.
+	var d sim.Time
+	t1 := &Thread{Name: "t1", SPU: us[0].ID(), Remaining: 90 * sim.Millisecond}
+	t1.BurstDone = func() { d = eng.Now() }
+	t2 := &Thread{Name: "t2", SPU: us[0].ID(), Remaining: 90 * sim.Millisecond}
+	s.Wake(t1)
+	s.Wake(t2)
+	runTicks(eng, s, sim.Second)
+	if s.Stat.CacheReloads != 0 {
+		t.Fatalf("cache reloads = %d on dedicated CPUs", s.Stat.CacheReloads)
+	}
+	if d != 90*sim.Millisecond {
+		t.Fatalf("t1 finished at %v, want exactly 90ms", d)
+	}
+}
+
+// The loan rate limiter refuses to re-lend a CPU right after a
+// revocation, trading borrower throughput for lender cache stability.
+func TestMinLoanIntervalDampsChurn(t *testing.T) {
+	run := func(interval sim.Time) (loans, damped int64) {
+		eng := sim.NewEngine()
+		spus := core.NewManager()
+		a := spus.NewSPU("a", 1, core.ShareIdle)
+		b := spus.NewSPU("b", 1, core.ShareIdle)
+		s := New(eng, spus, 2, Options{MinLoanInterval: interval})
+		s.AssignHomes()
+		// a blinks: 5ms on, 15ms off — constantly creating loan
+		// windows followed by revocations.
+		var blink *Thread
+		blink = &Thread{Name: "blink", SPU: a.ID(), Remaining: 5 * sim.Millisecond}
+		rounds := 100
+		blink.BurstDone = func() {
+			if rounds == 0 {
+				return
+			}
+			rounds--
+			eng.After(15*sim.Millisecond, "rearm", func() {
+				blink.Remaining = 5 * sim.Millisecond
+				s.Wake(blink)
+			})
+		}
+		s.Wake(blink)
+		// b is insatiable.
+		s.Wake(&Thread{Name: "hog1", SPU: b.ID(), Remaining: 100 * sim.Second})
+		s.Wake(&Thread{Name: "hog2", SPU: b.ID(), Remaining: 100 * sim.Second})
+		runTicks(eng, s, 3*sim.Second)
+		return s.Stat.Loans, s.Stat.LoansDamped
+	}
+	freeLoans, _ := run(0)
+	limitedLoans, damped := run(100 * sim.Millisecond)
+	if limitedLoans >= freeLoans {
+		t.Fatalf("limiter did not reduce loans: %d vs %d", limitedLoans, freeLoans)
+	}
+	if damped == 0 {
+		t.Fatal("no damping events recorded")
+	}
+}

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// BenchmarkDispatchStorm measures scheduling cost with many threads
+// cycling through short bursts on a partitioned machine.
+func BenchmarkDispatchStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine()
+		spus := core.NewManager()
+		for j := 0; j < 4; j++ {
+			spus.NewSPU("u", 1, core.ShareIdle)
+		}
+		s := New(eng, spus, 8, Options{})
+		s.AssignHomes()
+		for j := 0; j < 32; j++ {
+			th := &Thread{Name: "w", SPU: core.FirstUserID + core.SPUID(j%4), Remaining: 50 * sim.Millisecond}
+			rearm := 10
+			th.BurstDone = func() {
+				if rearm > 0 {
+					rearm--
+					th.Remaining = 50 * sim.Millisecond
+					s.Wake(th)
+				}
+			}
+			s.Wake(th)
+		}
+		tick := eng.Every(TickPeriod, "tick", s.Tick)
+		b.StartTimer()
+		eng.RunUntil(20 * sim.Second)
+		tick.Stop()
+	}
+}
+
+// BenchmarkTickOverhead measures the clock tick with idle runqueues.
+func BenchmarkTickOverhead(b *testing.B) {
+	eng := sim.NewEngine()
+	spus := core.NewManager()
+	for j := 0; j < 8; j++ {
+		spus.NewSPU("u", 1, core.ShareIdle)
+	}
+	s := New(eng, spus, 8, Options{})
+	s.AssignHomes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/trace"
+)
+
+// Gang groups threads for gang scheduling [Ous82], which §3.1 notes the
+// base hybrid policy does not accommodate without modification: a
+// fine-grain parallel application wants all of its threads running
+// simultaneously, or none, so that spin-waits and barriers do not stall
+// on descheduled peers.
+//
+// Members are never dispatched individually. At each clock tick the
+// scheduler checks every gang whose non-exited members are all
+// runnable; if the gang's home SPU can supply enough CPUs — idle ones
+// first, then by preempting non-gang threads on those CPUs — the whole
+// gang is placed at once. Members run until their bursts end (e.g. at a
+// barrier); the gang re-gathers and is placed again at a later tick.
+type Gang struct {
+	s       *Scheduler
+	members []*Thread
+}
+
+// NewGang creates a gang from the given threads. All members must
+// belong to the same SPU, and the gang must fit the CPUs that SPU can
+// ever use (otherwise it could never be placed; that is a configuration
+// error and panics).
+func (s *Scheduler) NewGang(ts ...*Thread) *Gang {
+	if len(ts) == 0 {
+		panic("sched: empty gang")
+	}
+	spu := ts[0].SPU
+	homes := 0
+	for _, c := range s.cpus {
+		if s.eligibleForSPU(c, spu) {
+			homes++
+		}
+	}
+	for _, t := range ts {
+		if t.SPU != spu {
+			panic(fmt.Sprintf("sched: gang spans SPUs %d and %d", spu, t.SPU))
+		}
+		if t.gang != nil {
+			panic("sched: thread " + t.Name + " already in a gang")
+		}
+	}
+	if len(ts) > homes {
+		panic(fmt.Sprintf("sched: gang of %d cannot fit the %d CPUs available to spu%d",
+			len(ts), homes, spu))
+	}
+	g := &Gang{s: s, members: append([]*Thread(nil), ts...)}
+	for _, t := range ts {
+		t.gang = g
+	}
+	s.gangs = append(s.gangs, g)
+	return g
+}
+
+// Members returns the gang's threads.
+func (g *Gang) Members() []*Thread { return g.members }
+
+// ready reports whether every non-exited member is runnable (waiting on
+// a runqueue) — the all-or-nothing placement condition — and how many
+// CPUs placement needs.
+func (g *Gang) ready() (n int, ok bool) {
+	for _, t := range g.members {
+		if t.exited {
+			continue
+		}
+		if t.running || !t.runnable {
+			return 0, false
+		}
+		n++
+	}
+	return n, n > 0
+}
+
+// placeGangs runs at each tick: it places every ready gang whose home
+// SPU can supply the CPUs, preempting non-gang threads if needed.
+func (s *Scheduler) placeGangs() {
+	for _, g := range s.gangs {
+		need, ok := g.ready()
+		if !ok {
+			continue
+		}
+		spu := g.members[0].SPU
+		// Gather candidate CPUs: idle eligible CPUs first, then
+		// eligible CPUs running preemptible non-gang threads.
+		var free, preemptible []*cpu
+		for _, c := range s.cpus {
+			if !s.eligibleForSPU(c, spu) {
+				continue
+			}
+			switch {
+			case c.cur == nil:
+				free = append(free, c)
+			case c.cur.gang == nil:
+				preemptible = append(preemptible, c)
+			}
+		}
+		if len(free)+len(preemptible) < need {
+			continue // try again next tick
+		}
+		cpus := free
+		for len(cpus) < need {
+			c := preemptible[0]
+			preemptible = preemptible[1:]
+			s.preempt(c)
+			cpus = append(cpus, c)
+		}
+		s.Stat.GangPlacements++
+		s.Trace.Emitf(trace.Sched, fmt.Sprintf("spu%d", spu), "gang",
+			"placed %d members", need)
+		i := 0
+		for _, t := range g.members {
+			if t.exited || !t.runnable {
+				continue
+			}
+			loan := cpus[i].home != spu
+			s.dispatchOn(cpus[i], t, loan)
+			i++
+		}
+	}
+}
+
+// eligibleForSPU reports whether a CPU may host this SPU's gang
+// members: its own home CPUs always; foreign CPUs only when the foreign
+// home's policy is ShareAll (the SMP scheme), where the home
+// restriction does not exist.
+func (s *Scheduler) eligibleForSPU(c *cpu, spu core.SPUID) bool {
+	if c.home == spu {
+		return true
+	}
+	return s.spus.Get(c.home).Policy() == core.ShareAll
+}

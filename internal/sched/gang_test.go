@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// gangRig sets up 1 SPU with 4 CPUs and a 2-member gang whose members
+// re-arm themselves through a shared "barrier" that records placement
+// times.
+func TestGangPlacesAllMembersTogether(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 4)
+	var starts [][2]sim.Time
+	var cur [2]sim.Time
+	arrived := 0
+	g1 := &Thread{Name: "g1", SPU: us[0].ID(), Remaining: 20 * sim.Millisecond}
+	g2 := &Thread{Name: "g2", SPU: us[0].ID(), Remaining: 20 * sim.Millisecond}
+	rounds := 0
+	rearm := func(i int, t *Thread) func() {
+		return func() {
+			cur[i] = eng.Now()
+			arrived++
+			if arrived == 2 {
+				arrived = 0
+				starts = append(starts, cur)
+				rounds++
+				if rounds < 5 {
+					g1.Remaining = 20 * sim.Millisecond
+					g2.Remaining = 20 * sim.Millisecond
+					s.Wake(g1)
+					s.Wake(g2)
+				}
+			}
+		}
+	}
+	g1.BurstDone = rearm(0, g1)
+	g2.BurstDone = rearm(1, g2)
+	s.NewGang(g1, g2)
+	s.Wake(g1)
+	s.Wake(g2)
+	runTicks(eng, s, 2*sim.Second)
+	if rounds != 5 {
+		t.Fatalf("gang completed %d rounds", rounds)
+	}
+	// Each round, both members must have finished their equal bursts at
+	// the same instant — they started together.
+	for i, pair := range starts {
+		if pair[0] != pair[1] {
+			t.Fatalf("round %d finished apart: %v vs %v", i, pair[0], pair[1])
+		}
+	}
+	if s.Stat.GangPlacements < 5 {
+		t.Fatalf("gang placements = %d", s.Stat.GangPlacements)
+	}
+}
+
+func TestGangNotDispatchedPiecemeal(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 2)
+	// One member runnable, the other not: nothing must run.
+	g1 := &Thread{Name: "g1", SPU: us[0].ID(), Remaining: 10 * sim.Millisecond}
+	g2 := &Thread{Name: "g2", SPU: us[0].ID(), Remaining: 10 * sim.Millisecond}
+	done := false
+	g1.BurstDone = func() { done = true }
+	s.NewGang(g1, g2)
+	s.Wake(g1) // g2 stays blocked
+	runTicks(eng, s, 200*sim.Millisecond)
+	if done {
+		t.Fatal("gang member ran alone")
+	}
+	// Wake the second member: now the gang places at the next tick.
+	s.Wake(g2)
+	runTicks(eng, s, eng.Now()+200*sim.Millisecond)
+	if !done {
+		t.Fatal("gang never placed after both members became runnable")
+	}
+}
+
+func TestGangPreemptsNonGangThreads(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 2)
+	// Two CPU hogs occupy both CPUs; the gang must still get placed by
+	// preempting them at a tick.
+	s.Wake(&Thread{Name: "hog1", SPU: us[0].ID(), Remaining: 10 * sim.Second})
+	s.Wake(&Thread{Name: "hog2", SPU: us[0].ID(), Remaining: 10 * sim.Second})
+	var fin sim.Time
+	g1 := &Thread{Name: "g1", SPU: us[0].ID(), Remaining: 10 * sim.Millisecond}
+	g2 := &Thread{Name: "g2", SPU: us[0].ID(), Remaining: 10 * sim.Millisecond}
+	g1.BurstDone = func() { fin = eng.Now() }
+	g2.BurstDone = func() {}
+	s.NewGang(g1, g2)
+	eng.At(55*sim.Millisecond, "wake", func() { s.Wake(g1); s.Wake(g2) })
+	runTicks(eng, s, sim.Second)
+	if fin == 0 {
+		t.Fatal("gang starved behind CPU hogs")
+	}
+	// Placed at the first tick after waking (60 ms), ran 10 ms.
+	if fin != 70*sim.Millisecond {
+		t.Fatalf("gang finished at %v, want 70ms", fin)
+	}
+}
+
+func TestGangValidation(t *testing.T) {
+	_, _, s, us := schedRig(2, core.ShareIdle, 4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty", func() { s.NewGang() })
+	mustPanic("cross-spu", func() {
+		s.NewGang(
+			&Thread{Name: "a", SPU: us[0].ID()},
+			&Thread{Name: "b", SPU: us[1].ID()},
+		)
+	})
+	mustPanic("too big", func() {
+		var ts []*Thread
+		for i := 0; i < 3; i++ { // SPU owns only 2 of the 4 CPUs
+			ts = append(ts, &Thread{Name: "m", SPU: us[0].ID()})
+		}
+		s.NewGang(ts...)
+	})
+	mustPanic("double membership", func() {
+		th := &Thread{Name: "x", SPU: us[0].ID()}
+		s.NewGang(th)
+		s.NewGang(th)
+	})
+}
+
+func TestGangMembersExposed(t *testing.T) {
+	_, _, s, us := schedRig(1, core.ShareIdle, 2)
+	a := &Thread{Name: "a", SPU: us[0].ID()}
+	g := s.NewGang(a)
+	if len(g.Members()) != 1 || g.Members()[0] != a {
+		t.Fatal("Members() wrong")
+	}
+}

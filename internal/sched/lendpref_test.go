@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// §3.1: "An SPU could be explicitly picked if the home SPU's sharing
+// policy indicated a preference." With A idle and C overloaded, C's
+// completion depends on whether A's preference includes it.
+func TestLendPreferenceRestrictsBorrowers(t *testing.T) {
+	run := func(allowC bool) sim.Time {
+		eng := sim.NewEngine()
+		spus := core.NewManager()
+		a := spus.NewSPU("a", 1, core.ShareIdle)
+		c := spus.NewSPU("c", 1, core.ShareIdle)
+		s := New(eng, spus, 2, Options{})
+		s.AssignHomes()
+		if allowC {
+			s.SetLendPreference(a.ID(), c.ID())
+		} else {
+			// Lend only to itself: effectively nobody.
+			s.SetLendPreference(a.ID(), a.ID())
+		}
+		var done sim.Time
+		for i := 0; i < 2; i++ {
+			ct := &Thread{Name: "c", SPU: c.ID(), Remaining: 100 * sim.Millisecond}
+			ct.BurstDone = func() {
+				if eng.Now() > done {
+					done = eng.Now()
+				}
+			}
+			s.Wake(ct)
+		}
+		runTicks(eng, s, sim.Second)
+		return done
+	}
+	allowed := run(true)
+	denied := run(false)
+	// With the loan allowed, both threads run in parallel: ~100ms.
+	if allowed > 110*sim.Millisecond {
+		t.Fatalf("preferred borrower finished at %v; loan did not happen", allowed)
+	}
+	// Restricted to its own CPU: ~200ms.
+	if denied < 190*sim.Millisecond {
+		t.Fatalf("non-preferred borrower finished at %v; it borrowed anyway", denied)
+	}
+}
+
+func TestLendPreferenceClear(t *testing.T) {
+	eng, _, s, us := schedRig(2, core.ShareIdle, 2)
+	a, b := us[0], us[1]
+	s.SetLendPreference(a.ID()) // no borrowers listed: lend to anyone
+	_ = eng
+	if !s.mayLend(a.ID(), b.ID()) {
+		t.Fatal("empty preference should mean no restriction")
+	}
+	s.SetLendPreference(a.ID(), a.ID()) // only itself: effectively nobody
+	if s.mayLend(a.ID(), b.ID()) {
+		t.Fatal("restriction ignored")
+	}
+	s.SetLendPreference(a.ID()) // clear again
+	if !s.mayLend(a.ID(), b.ID()) {
+		t.Fatal("clearing the preference failed")
+	}
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// Property: CPU time conservation — the sum of all threads' consumed
+// CPU time never exceeds CPUs x elapsed time, and every thread receives
+// exactly the demand it asked for by completion.
+func TestPropertyCPUTimeConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		nCPU := 1 + rng.Intn(8)
+		nSPU := 1 + rng.Intn(4)
+		eng := sim.NewEngine()
+		spus := core.NewManager()
+		var ids []core.SPUID
+		for i := 0; i < nSPU; i++ {
+			ids = append(ids, spus.NewSPU("u", 1, core.ShareIdle).ID())
+		}
+		s := New(eng, spus, nCPU, Options{})
+		s.AssignHomes()
+		type want struct {
+			th     *Thread
+			demand sim.Time
+		}
+		var all []want
+		n := 2 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			d := sim.Time(1+rng.Intn(200)) * sim.Millisecond
+			th := &Thread{Name: "w", SPU: ids[rng.Intn(len(ids))], Remaining: d}
+			all = append(all, want{th, d})
+			at := sim.Time(rng.Intn(100)) * sim.Millisecond
+			eng.At(at, "wake", func() { s.Wake(th) })
+		}
+		horizon := 20 * sim.Second
+		first := (eng.Now()/TickPeriod + 1) * TickPeriod
+		for at := first; at <= horizon; at += TickPeriod {
+			eng.At(at, "tick", s.Tick)
+		}
+		eng.RunUntil(horizon)
+		var total sim.Time
+		for _, w := range all {
+			if w.th.CPUTime != w.demand {
+				return false // over- or under-served
+			}
+			total += w.th.CPUTime
+		}
+		return total <= sim.Time(nCPU)*horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheduler's internal state is consistent after any
+// random mix of wakes, bursts and ticks (checked via Audit).
+func TestPropertySchedulerAudit(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		eng := sim.NewEngine()
+		spus := core.NewManager()
+		a := spus.NewSPU("a", 1, core.ShareIdle)
+		b := spus.NewSPU("b", 1, core.ShareIdle)
+		s := New(eng, spus, 2, Options{})
+		s.AssignHomes()
+		ids := []core.SPUID{a.ID(), b.ID()}
+		for i := 0; i < 10; i++ {
+			var th *Thread
+			th = &Thread{Name: "w", SPU: ids[rng.Intn(2)],
+				Remaining: sim.Time(1+rng.Intn(50)) * sim.Millisecond}
+			rounds := rng.Intn(4)
+			th.BurstDone = func() {
+				if rounds > 0 {
+					rounds--
+					th.Remaining = sim.Time(1+rng.Intn(50)) * sim.Millisecond
+					s.Wake(th)
+				}
+			}
+			eng.At(sim.Time(rng.Intn(80))*sim.Millisecond, "wake", func() { s.Wake(th) })
+		}
+		bad := false
+		for at := TickPeriod; at <= 5*sim.Second; at += TickPeriod {
+			eng.At(at, "tick", func() {
+				s.Tick()
+				if err := s.Audit(); err != nil {
+					bad = true
+				}
+			})
+		}
+		eng.RunUntil(5 * sim.Second)
+		return !bad && s.Audit() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

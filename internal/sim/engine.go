@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created through Engine.At /
+// Engine.After and can be cancelled until they fire.
+type Event struct {
+	at        Time
+	seq       uint64 // tie-breaker for same-time events; preserves FIFO order
+	fn        func()
+	name      string
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// At returns the instant the event is scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (ev *Event) Name() string { return ev.name }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op. Cancelled events are
+// dropped lazily when they surface at the head of the queue.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Pending reports whether the event is still queued and will fire.
+func (ev *Event) Pending() bool { return ev.index >= 0 && !ev.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core: a virtual clock and a
+// priority queue of events. It is not safe for concurrent use; the whole
+// simulated machine runs on one OS thread by design.
+type Engine struct {
+	now        Time
+	seq        uint64
+	queue      eventHeap
+	dispatched uint64
+	running    bool
+	stop       bool
+}
+
+// NewEngine returns an engine with the clock at zero and no events queued.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently queued (including events
+// that were cancelled but not yet dropped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched returns the total number of events that have fired.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error in the machine model and panics loudly rather than
+// silently corrupting causality.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %s, before now (%s)", name, t, e.now))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sim: event %q has nil callback", name))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, name: name, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to "now" so callers computing small time deltas from float math
+// do not trip the past-scheduling panic on a -1 ns rounding artifact.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, name, fn)
+}
+
+// Ticker fires a callback at a fixed period until cancelled. The callback
+// runs for the first time one full period after creation.
+type Ticker struct {
+	engine *Engine
+	period Time
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// Every creates and starts a Ticker with the given period.
+func (e *Engine) Every(period Time, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q has non-positive period %s", name, period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm(name)
+	return t
+}
+
+func (t *Ticker) arm(name string) {
+	t.ev = t.engine.After(t.period, name, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done { // fn may have stopped us
+			t.arm(name)
+		}
+	})
+}
+
+// Stop cancels the ticker; the callback will not run again.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty (after discarding cancelled events).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards firing %q (%s < %s)", ev.name, ev.at, e.now))
+		}
+		e.now = ev.at
+		e.dispatched++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called, and returns
+// the number of events dispatched by this call.
+func (e *Engine) Run() uint64 {
+	start := e.dispatched
+	e.running, e.stop = true, false
+	for !e.stop && e.Step() {
+	}
+	e.running = false
+	return e.dispatched - start
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// the deadline (if it got that far). Events after the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.dispatched
+	e.running, e.stop = true, false
+	for !e.stop {
+		// Peek past cancelled events without firing anything late.
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	e.running = false
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.dispatched - start
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event's
+// callback completes. It may only be called from inside a callback.
+func (e *Engine) Stop() { e.stop = true }
+
+// peek returns the earliest non-cancelled event without firing it,
+// discarding cancelled events it passes over.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

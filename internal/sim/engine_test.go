@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		e.At(at, "probe", func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFireFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, "tie", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break broken)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(50, "outer", func() {
+		e.After(25, "inner", func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 75 {
+		t.Fatalf("inner fired at %v, want 75", fired)
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(10, "outer", func() {
+		e.After(-5, "inner", func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, "advance", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(50, "late", func() {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, "victim", func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	victim := e.At(20, "victim", func() { ran = true })
+	e.At(10, "killer", func() { victim.Cancel() })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestPendingReflectsQueue(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, "a", func() {})
+	if !ev.Pending() {
+		t.Fatal("queued event not Pending")
+	}
+	e.Run()
+	if ev.Pending() {
+		t.Fatal("fired event still Pending")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, "probe", func() { fired = append(fired, at) })
+	}
+	n := e.RunUntil(25)
+	if n != 2 {
+		t.Fatalf("dispatched %d, want 2", n)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want clock advanced to deadline 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2 still queued", e.Pending())
+	}
+	// The rest still run afterwards.
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("total fired %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilWithEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", e.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), "n", func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events before Stop, want 3", count)
+	}
+	// Run resumes where it left off.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("after resume ran %d total, want 10", count)
+	}
+}
+
+func TestTickerFiresAtPeriod(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.Every(10*Millisecond, "tick", func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 5 {
+			e.Stop()
+		}
+	})
+	defer tk.Stop()
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		want := Time(i+1) * 10 * Millisecond
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(Millisecond, "tick", func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3", count)
+	}
+}
+
+func TestTickerStopOutsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := e.Every(Millisecond, "tick", func() { count++ })
+	e.At(3500*Microsecond, "stopper", func() { tk.Stop() })
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3 before stop at 3.5ms", count)
+	}
+}
+
+func TestDispatchedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), "n", func() {})
+	}
+	e.Run()
+	if e.Dispatched() != 7 {
+		t.Fatalf("Dispatched() = %d, want 7", e.Dispatched())
+	}
+}
+
+// Property: however events are scheduled (any set of non-negative offsets),
+// they fire in nondecreasing time order and all of them fire.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		for _, off := range offsets {
+			e.At(Time(off), "p", func() {})
+		}
+		var last Time = -1
+		fired := 0
+		for {
+			before := e.Now()
+			if !e.Step() {
+				break
+			}
+			_ = before
+			if e.Now() < last {
+				return false
+			}
+			last = e.Now()
+			fired++
+		}
+		return fired == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from inside callbacks never observes the
+// clock move backwards.
+func TestPropertyNestedSchedulingMonotonic(t *testing.T) {
+	f := func(seed uint64) bool {
+		e := NewEngine()
+		r := NewRNG(seed)
+		ok := true
+		var last Time
+		depth := 0
+		var spawn func()
+		spawn = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth < 200 {
+				depth++
+				e.After(Time(r.Intn(1000)), "child", spawn)
+			}
+		}
+		e.At(0, "root", spawn)
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

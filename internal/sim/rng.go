@@ -1,0 +1,88 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64).
+// Each consumer of randomness in the machine model owns its own stream so
+// that adding a new consumer never perturbs the draws seen by existing
+// ones — a property plain math/rand sharing would not give us.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Fork derives an independent child stream from the current state. The
+// child's sequence is decorrelated from the parent's by an extra mixing
+// step, and forking advances the parent exactly one draw.
+func (r *RNG) Fork() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform Time in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Duration(lo, hi Time) Time {
+	if hi < lo {
+		panic("sim: Duration with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)+1))
+}
+
+// Exp returns an exponentially distributed Time with the given mean,
+// truncated at 20x the mean to keep single draws from dominating a run.
+func (r *RNG) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	d := -math.Log(1-u) * float64(mean)
+	if max := 20 * float64(mean); d > max {
+		d = max
+	}
+	return Time(d)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 draws identical across different seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Fork()
+	// The child stream must not simply replay the parent stream.
+	p1 := parent.Uint64()
+	c1 := child.Uint64()
+	if p1 == c1 {
+		t.Fatal("forked stream mirrors parent")
+	}
+	// Forking is itself deterministic.
+	p2 := NewRNG(7)
+	c2 := p2.Fork()
+	if c2.Uint64() != c1 {
+		t.Fatal("fork not reproducible from same seed")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 draws = %g, want ~0.5", mean)
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	r := NewRNG(11)
+	lo, hi := 5*Millisecond, 9*Millisecond
+	for i := 0; i < 10000; i++ {
+		d := r.Duration(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if d := r.Duration(lo, lo); d != lo {
+		t.Fatalf("degenerate Duration = %v, want %v", d, lo)
+	}
+}
+
+func TestExpMeanAndTruncation(t *testing.T) {
+	r := NewRNG(13)
+	mean := 10 * Millisecond
+	var sum Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := r.Exp(mean)
+		if d < 0 || d > 20*mean {
+			t.Fatalf("Exp draw %v outside [0, 20*mean]", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n / float64(mean)
+	if math.Abs(got-1.0) > 0.02 {
+		t.Fatalf("Exp empirical mean = %.3f of requested, want ~1.0", got)
+	}
+	if r.Exp(0) != 0 {
+		t.Fatal("Exp(0) should be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(30)
+		seen := make([]bool, 30)
+		for _, v := range p {
+			if v < 0 || v >= 30 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

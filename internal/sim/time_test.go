@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Fatal("unit ladder inconsistent")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		t   Time
+		sec float64
+		ms  float64
+	}{
+		{Second, 1, 1000},
+		{500 * Millisecond, 0.5, 500},
+		{Microsecond, 1e-6, 1e-3},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Seconds(); got != c.sec {
+			t.Errorf("%v.Seconds() = %g, want %g", c.t, got, c.sec)
+		}
+		if got := c.t.Milliseconds(); got != c.ms {
+			t.Errorf("%v.Milliseconds() = %g, want %g", c.t, got, c.ms)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		tt := FromMilliseconds(float64(ms))
+		return tt == Time(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if FromSeconds(2.5) != 2500*Millisecond {
+		t.Fatalf("FromSeconds(2.5) = %v", FromSeconds(2.5))
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+	// Spot-check the unit selection for larger values.
+	if s := (250 * Microsecond).String(); !strings.HasSuffix(s, "us") {
+		t.Errorf("250us rendered as %q", s)
+	}
+	if s := (42 * Millisecond).String(); !strings.HasSuffix(s, "ms") {
+		t.Errorf("42ms rendered as %q", s)
+	}
+	if s := (3 * Second).String(); !strings.HasSuffix(s, "s") || strings.HasSuffix(s, "ms") {
+		t.Errorf("3s rendered as %q", s)
+	}
+	if s := (-Millisecond).String(); !strings.HasPrefix(s, "-") {
+		t.Errorf("negative time rendered as %q", s)
+	}
+}

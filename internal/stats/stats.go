@@ -1,0 +1,270 @@
+// Package stats provides the small statistics toolkit used by the kernel
+// model and the experiment harness: scalar sample accumulators,
+// time-weighted value trackers (for utilization), fixed-width histograms,
+// and a plain-text table renderer for paper-style output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perfiso/internal/sim"
+)
+
+// Sample accumulates observations of a scalar quantity and reports the
+// usual summary statistics. The zero value is ready to use.
+type Sample struct {
+	n        int64
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// AddTime records a sim.Time observation in seconds.
+func (s *Sample) AddTime(t sim.Time) { s.Add(t.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int64 { return s.n }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two observations.
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	v := s.sumSq/float64(s.n) - mean*mean
+	if v < 0 { // numeric noise
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Merge folds other's observations into s.
+func (s *Sample) Merge(other *Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if s.n == 0 || other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.sumSq += other.sumSq
+}
+
+// TimeWeighted tracks a piecewise-constant value over simulated time and
+// reports its time-weighted average — the natural definition of, e.g.,
+// CPU utilization or mean queue depth.
+type TimeWeighted struct {
+	started  bool
+	last     sim.Time
+	value    float64
+	area     float64
+	duration sim.Time
+	maxV     float64
+}
+
+// Set records that the tracked value changed to v at time now.
+func (w *TimeWeighted) Set(now sim.Time, v float64) {
+	if w.started {
+		dt := now - w.last
+		if dt < 0 {
+			panic("stats: TimeWeighted observed time going backwards")
+		}
+		w.area += w.value * dt.Seconds()
+		w.duration += dt
+	}
+	w.started = true
+	w.last = now
+	w.value = v
+	if v > w.maxV {
+		w.maxV = v
+	}
+}
+
+// Add adjusts the tracked value by delta at time now.
+func (w *TimeWeighted) Add(now sim.Time, delta float64) { w.Set(now, w.value+delta) }
+
+// Value returns the current tracked value.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// Max returns the maximum value ever set.
+func (w *TimeWeighted) Max() float64 { return w.maxV }
+
+// Average closes the window at time now and returns the time-weighted
+// average since the first Set. It returns 0 if no time has elapsed.
+func (w *TimeWeighted) Average(now sim.Time) float64 {
+	w.Set(now, w.value) // fold in the final segment
+	if w.duration == 0 {
+		return 0
+	}
+	return w.area / w.duration.Seconds()
+}
+
+// Histogram is a fixed-width bucket histogram with overflow and underflow
+// buckets, used for distributions such as per-request disk wait times.
+type Histogram struct {
+	lo, width float64
+	buckets   []int64
+	under     int64
+	over      int64
+	sample    Sample
+}
+
+// NewHistogram creates a histogram covering [lo, lo+n*width) in n buckets.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: NewHistogram with non-positive width or bucket count")
+	}
+	return &Histogram{lo: lo, width: width, buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.sample.Add(v)
+	idx := int(math.Floor((v - h.lo) / h.width))
+	switch {
+	case idx < 0:
+		h.under++
+	case idx >= len(h.buckets):
+		h.over++
+	default:
+		h.buckets[idx]++
+	}
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.sample.N() }
+
+// Mean returns the mean of all observations (exact, not bucketed).
+func (h *Histogram) Mean() float64 { return h.sample.Mean() }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of regular buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) from
+// the bucket boundaries; exact values for under/overflowed data degrade to
+// the range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.sample.N()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.under
+	if cum >= target {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return h.lo + float64(i+1)*h.width
+		}
+	}
+	return h.lo + float64(len(h.buckets))*h.width
+}
+
+// Point is one (x, y) pair in a Series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is an ordered list of (x, y) points, used for parameter sweeps
+// (e.g. response time vs. BW-difference threshold).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Sorted returns the points sorted by X.
+func (s *Series) Sorted() []Point {
+	out := make([]Point, len(s.Points))
+	copy(out, s.Points)
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// YAt returns the Y value for the given X, or ok=false if absent.
+func (s *Series) YAt(x float64) (y float64, ok bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Ratio is a convenience for "normalized to baseline" reporting: it
+// returns 100*v/base, the percentage form used throughout the paper's
+// figures, or 0 if base is 0.
+func Ratio(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * v / base
+}
+
+// FormatPercent renders a percentage (negative values keep their sign,
+// marking deltas like "-39%").
+func FormatPercent(v float64) string { return fmt.Sprintf("%.0f%%", v) }
+
+// FormatRatio renders a multiplicative ratio.
+func FormatRatio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// FormatSeconds renders a duration in seconds with sensible precision.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case math.Abs(s) < 0.001:
+		return fmt.Sprintf("%.2fms", s*1000)
+	case math.Abs(s) < 1:
+		return fmt.Sprintf("%.1fms", s*1000)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

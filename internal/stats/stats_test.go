@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfiso/internal/sim"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if s.Sum() != 12 {
+		t.Fatalf("Sum = %g", s.Sum())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.StdDev(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestSampleAddTime(t *testing.T) {
+	var s Sample
+	s.AddTime(500 * sim.Millisecond)
+	if s.Mean() != 0.5 {
+		t.Fatalf("AddTime mean = %g", s.Mean())
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Add(3)
+	b.Add(5)
+	b.Add(7)
+	a.Merge(&b)
+	if a.N() != 4 || a.Mean() != 4 || a.Min() != 1 || a.Max() != 7 {
+		t.Fatalf("merged: n=%d mean=%g min=%g max=%g", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+	var empty Sample
+	a.Merge(&empty) // no-op
+	if a.N() != 4 {
+		t.Fatal("merging empty changed N")
+	}
+}
+
+// Property: merging two samples gives the same mean as one combined sample.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	// Map arbitrary bits into a bounded range so sums cannot overflow.
+	bound := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	f := func(xs, ys []float64) bool {
+		var combined, a, b Sample
+		for _, x := range xs {
+			x = bound(x)
+			a.Add(x)
+			combined.Add(x)
+		}
+		for _, y := range ys {
+			y = bound(y)
+			b.Add(y)
+			combined.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != combined.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-combined.Mean()) < 1e-9*(1+math.Abs(combined.Mean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)          // value 1 for 1s
+	w.Set(sim.Second, 3) // value 3 for 1s
+	got := w.Average(2 * sim.Second)
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("Average = %g, want 2", got)
+	}
+	if w.Max() != 3 {
+		t.Fatalf("Max = %g", w.Max())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Add(sim.Second, 4) // value 4 from t=1s
+	if w.Value() != 4 {
+		t.Fatalf("Value = %g", w.Value())
+	}
+	got := w.Average(2 * sim.Second) // 0 for 1s, 4 for 1s
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("Average = %g, want 2", got)
+	}
+}
+
+func TestTimeWeightedNoElapsed(t *testing.T) {
+	var w TimeWeighted
+	w.Set(sim.Second, 5)
+	if w.Average(sim.Second) != 0 {
+		t.Fatal("zero-duration window should average 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // [0,50) in 5 buckets
+	for _, v := range []float64{-1, 0, 5, 15, 49.9, 50, 1000} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 { // 0 and 5
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 15
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 49.9
+		t.Fatalf("bucket 4 = %d", h.Bucket(4))
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Fatalf("under/over = %d/%d", h.under, h.over)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 1, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %g, want ~50", q)
+	}
+	if q := h.Quantile(1.0); math.Abs(q-100) > 1.5 {
+		t.Fatalf("p100 = %g, want ~100", q)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	sorted := s.Sorted()
+	if sorted[0].X != 1 || sorted[2].X != 3 {
+		t.Fatalf("Sorted = %v", sorted)
+	}
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2) = %g,%v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Fatal("YAt(99) should miss")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(150, 100) != 150 {
+		t.Fatal("Ratio(150,100)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero base")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.0005: "0.50ms",
+		0.25:   "250.0ms",
+		1.5:    "1.50s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "Conf", "Time (s)", "Wait (ms)")
+	tb.Addf("Pos", 1.23, 155.8)
+	tb.Addf("PIso", 0.28, 31.9)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Conf") || !strings.Contains(out, "Wait (ms)") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "1.23") || !strings.Contains(out, "31.90") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellAccess(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("x") // short row padded
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 0) != "x" || tb.Cell(0, 1) != "" {
+		t.Fatalf("cells = %q,%q", tb.Cell(0, 0), tb.Cell(0, 1))
+	}
+}
+
+func TestTableAddfTypes(t *testing.T) {
+	tb := NewTable("", "s", "f", "i", "i64", "other")
+	tb.Addf("str", 1.5, 7, int64(9), []int{1})
+	if tb.Cell(0, 2) != "7" || tb.Cell(0, 3) != "9" {
+		t.Fatalf("int cells = %q,%q", tb.Cell(0, 2), tb.Cell(0, 3))
+	}
+	if tb.Cell(0, 1) != "1.50" {
+		t.Fatalf("float cell = %q", tb.Cell(0, 1))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Results\ntwo lines", "Conf", "V")
+	tb.AddRow("Pos", "1|2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "**Results two lines**") {
+		t.Errorf("title missing/unflattened:\n%s", md)
+	}
+	if !strings.Contains(md, "| Conf | V |") {
+		t.Errorf("header row wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Errorf("separator missing:\n%s", md)
+	}
+	if !strings.Contains(md, `1\|2`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("Figure", []string{"SMP", "PIso"}, []float64{156, 100}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "Figure" {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 6 { // 100/156*10 = 6.4 -> 6
+		t.Errorf("scaled bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "156") || !strings.Contains(lines[2], "100") {
+		t.Error("values missing")
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bars("", []string{"a"}, nil, 10)
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"z"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "Name", "V")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Data rows: the V column must start at the same offset in both rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r1, "1") != strings.Index(r2, "2") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline collects periodically-sampled values for a set of labelled
+// rows (e.g. per-SPU CPU usage) and renders them as aligned ASCII
+// sparklines — a terminal-friendly stand-in for the time-series plots a
+// paper would show.
+type Timeline struct {
+	order []string
+	rows  map[string][]float64
+}
+
+// NewTimeline creates an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{rows: make(map[string][]float64)}
+}
+
+// Record appends one sample for the labelled row. Rows appear in the
+// render in first-Record order. Rows sampled at different rates simply
+// have different lengths.
+func (t *Timeline) Record(label string, v float64) {
+	if _, ok := t.rows[label]; !ok {
+		t.order = append(t.order, label)
+	}
+	t.rows[label] = append(t.rows[label], v)
+}
+
+// Samples returns the samples recorded for a label.
+func (t *Timeline) Samples(label string) []float64 { return t.rows[label] }
+
+// Labels returns the row labels in first-Record order.
+func (t *Timeline) Labels() []string { return append([]string(nil), t.order...) }
+
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Render draws each row as a sparkline of at most width cells,
+// downsampling by averaging. Rows are normalized to the timeline's
+// global maximum so they are visually comparable; the per-row peak is
+// printed after the line.
+func (t *Timeline) Render(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var max float64
+	for _, vs := range t.rows {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range t.order {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for _, label := range t.order {
+		vs := t.rows[label]
+		cells := resample(vs, width)
+		fmt.Fprintf(&b, "%-*s ", labelW, label)
+		var peak float64
+		for _, v := range cells {
+			if v > peak {
+				peak = v
+			}
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(sparkRamp)-1))
+				if idx >= len(sparkRamp) {
+					idx = len(sparkRamp) - 1
+				}
+				if idx < 0 {
+					idx = 0
+				}
+			}
+			b.WriteRune(sparkRamp[idx])
+		}
+		fmt.Fprintf(&b, "  peak %.2f\n", peak)
+	}
+	return b.String()
+}
+
+// resample reduces (or keeps) a series to at most width cells by
+// averaging equal spans.
+func resample(vs []float64, width int) []float64 {
+	if len(vs) <= width {
+		return vs
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(vs) / width
+		hi := (i + 1) * len(vs) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range vs[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of the given values, by
+// sorting a copy. It returns 0 for an empty slice.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+	if q <= 0 {
+		return vs[0]
+	}
+	if q >= 1 {
+		return vs[len(vs)-1]
+	}
+	idx := int(q * float64(len(vs)-1))
+	return vs[idx]
+}

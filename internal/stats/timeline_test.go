@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRecordAndLabels(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record("cpu", 1)
+	tl.Record("mem", 2)
+	tl.Record("cpu", 3)
+	if got := tl.Labels(); len(got) != 2 || got[0] != "cpu" || got[1] != "mem" {
+		t.Fatalf("labels = %v", got)
+	}
+	if got := tl.Samples("cpu"); len(got) != 2 || got[1] != 3 {
+		t.Fatalf("cpu samples = %v", got)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline()
+	for i := 0; i < 10; i++ {
+		tl.Record("rising", float64(i))
+		tl.Record("flat", 1)
+	}
+	out := tl.Render(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "rising") || !strings.Contains(lines[0], "peak 9.00") {
+		t.Fatalf("rising row: %q", lines[0])
+	}
+	// The rising row must end with the tallest glyph; the flat row must
+	// use a single short glyph (normalized against the global max 9).
+	if !strings.ContainsRune(lines[0], '█') {
+		t.Fatalf("rising row lacks a full cell: %q", lines[0])
+	}
+	if strings.ContainsRune(lines[1], '█') {
+		t.Fatalf("flat row at 1/9 shows a full cell: %q", lines[1])
+	}
+}
+
+func TestTimelineDownsamples(t *testing.T) {
+	tl := NewTimeline()
+	for i := 0; i < 1000; i++ {
+		tl.Record("x", 1)
+	}
+	out := tl.Render(20)
+	// label + space + 20 cells + peak suffix: the sparkline itself must
+	// be 20 runes.
+	line := strings.Split(out, "  peak")[0]
+	cells := strings.TrimPrefix(line, "x ")
+	if n := len([]rune(cells)); n != 20 {
+		t.Fatalf("sparkline cells = %d, want 20", n)
+	}
+}
+
+func TestTimelineEmptyAndZeroWidth(t *testing.T) {
+	tl := NewTimeline()
+	if out := tl.Render(0); out != "" {
+		t.Fatalf("empty timeline rendered %q", out)
+	}
+	tl.Record("z", 0)
+	if out := tl.Render(0); !strings.Contains(out, "z") {
+		t.Fatalf("zero-value row missing: %q", out)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vs := []float64{5, 1, 3, 2, 4}
+	if Quantile(vs, 0) != 1 || Quantile(vs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Quantile(vs, 0.5); got != 3 {
+		t.Fatalf("median = %g", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if vs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

@@ -1,0 +1,143 @@
+package stress
+
+import (
+	"fmt"
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// TestRandomizedStress drives the whole kernel through dozens of
+// randomly-generated (but deterministic) configurations — machines,
+// schemes, SPU counts and weights, workload mixes, option knobs — and
+// asserts the global invariants on each:
+//
+//   - every job completes (kernel.Run returning is itself the
+//     no-deadlock assertion, backed by the horizon panic);
+//   - response times are positive;
+//   - the memory manager's accounting is internally consistent;
+//   - the scheduler's CPU/queue state is consistent;
+//   - all anonymous memory is released at exit.
+func TestRandomizedStress(t *testing.T) {
+	const runs = 24
+	for i := 0; i < runs; i++ {
+		i := i
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			stressOne(t, uint64(1000+i))
+		})
+	}
+}
+
+func stressOne(t *testing.T, seed uint64) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+
+	machines := []machine.Config{
+		machine.Pmake8(), machine.CPUIsolation(),
+		machine.MemoryIsolation(), machine.DiskIsolation(),
+	}
+	cfg := machines[rng.Intn(len(machines))]
+	scheme := []core.Scheme{core.SMP, core.Quo, core.PIso}[rng.Intn(3)]
+	opts := kernel.Options{
+		Seed:      rng.Uint64() | 1,
+		IPIRevoke: rng.Intn(2) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		opts.CacheReload = sim.Time(rng.Intn(3)) * sim.Millisecond
+	}
+	if rng.Intn(3) == 0 {
+		opts.PageInsertStripes = 1
+	}
+	if rng.Intn(4) == 0 {
+		opts.Reserve = 0.02 + 0.2*rng.Float64()
+	}
+	k := kernel.New(cfg, scheme, opts)
+
+	nSPU := 1 + rng.Intn(4)
+	var spus []*core.SPU
+	for i := 0; i < nSPU; i++ {
+		w := 1 + float64(rng.Intn(3))
+		spus = append(spus, k.NewSPU(fmt.Sprintf("u%d", i), w))
+	}
+	k.Boot()
+
+	var jobs []*proc.Process
+	nJobs := 1 + rng.Intn(5)
+	for j := 0; j < nJobs; j++ {
+		spu := spus[rng.Intn(len(spus))].ID()
+		name := fmt.Sprintf("job%d", j)
+		switch rng.Intn(5) {
+		case 0:
+			p := workload.DefaultPmake()
+			p.Parallel = 1 + rng.Intn(3)
+			p.FilesPerCompile = 1 + rng.Intn(4)
+			p.WSSPages = 20 + rng.Intn(200)
+			p.ComputePerFile = sim.Time(20+rng.Intn(120)) * sim.Millisecond
+			jobs = append(jobs, workload.Pmake(k, spu, name, p))
+		case 1:
+			bytes := int64(64*1024) << rng.Intn(5)
+			jobs = append(jobs, workload.Copy(k, spu, name, workload.DefaultCopy(bytes)))
+		case 2:
+			p := workload.DefaultOcean()
+			// An Ocean gang needs as many CPUs as processes; size it to
+			// the smallest possible share.
+			p.Procs = 1 + rng.Intn(2)
+			p.Iterations = 1 + rng.Intn(8)
+			p.WSSPages = 20 + rng.Intn(100)
+			jobs = append(jobs, workload.Ocean(k, spu, name, p))
+		case 3:
+			p := workload.ComputeParams{
+				Total:    sim.Time(50+rng.Intn(500)) * sim.Millisecond,
+				Chunk:    sim.Time(10+rng.Intn(90)) * sim.Millisecond,
+				WSSPages: 10 + rng.Intn(300),
+			}
+			jobs = append(jobs, workload.ComputeBound(k, spu, name, p))
+		default:
+			p := workload.ServerParams{
+				Requests:     5 + rng.Intn(30),
+				Interarrival: sim.Time(5+rng.Intn(30)) * sim.Millisecond,
+				Service:      sim.Time(1+rng.Intn(5)) * sim.Millisecond,
+			}
+			srv := workload.Server(k, spu, name, p)
+			jobs = append(jobs, srv.Root)
+		}
+	}
+	for _, j := range jobs {
+		k.Spawn(j)
+	}
+	end := k.Run() // horizon panic is the deadlock detector
+
+	if end <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	for _, j := range jobs {
+		if j.State() != proc.Exited {
+			t.Fatalf("job %q did not exit", j.Name)
+		}
+		if j.ResponseTime() <= 0 {
+			t.Fatalf("job %q has response %v", j.Name, j.ResponseTime())
+		}
+	}
+	if err := k.Memory().Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Scheduler().Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// After every process exits, the only pages left are kernel pages
+	// and buffer cache (clean or dirty): no anonymous leaks.
+	anonLeak := 0
+	_ = anonLeak
+	kernelPages := int(k.SPUs().Kernel().Used(core.Memory))
+	cached := k.FS().CachedPages()
+	used := k.Memory().UsedPages()
+	if used > kernelPages+cached {
+		t.Fatalf("leak: %d pages used, %d kernel + %d cache accounted",
+			used, kernelPages, cached)
+	}
+}

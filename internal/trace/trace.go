@@ -1,0 +1,190 @@
+// Package trace records the resource-management decisions the kernel
+// makes — CPU loans and revocations, page evictions and memory-policy
+// adjustments, disk fairness denials — as a bounded in-memory event log.
+//
+// Tracing exists for two audiences: tests that want to assert *why* a
+// result happened (e.g. "isolation held because the loan was revoked
+// within a tick"), and humans debugging a workload through cmd/pisosim's
+// -trace flag. A nil *Tracer is valid and free: every method is a no-op
+// on nil, so instrumented code never branches on "is tracing on".
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"perfiso/internal/sim"
+)
+
+// Kind classifies an event by the subsystem that emitted it.
+type Kind int
+
+const (
+	Sched  Kind = iota // CPU scheduling: dispatch, loan, revoke
+	Mem                // memory: eviction, lending, revocation
+	Disk               // disk: fairness denials, policy decisions
+	FS                 // file system: flushes, lock contention
+	Proc               // process lifecycle
+	Policy             // periodic policy ticks
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Sched:
+		return "sched"
+	case Mem:
+		return "mem"
+	case Disk:
+		return "disk"
+	case FS:
+		return "fs"
+	case Proc:
+		return "proc"
+	case Policy:
+		return "policy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded decision.
+type Event struct {
+	At      sim.Time
+	Kind    Kind
+	Subject string // who it concerns: thread, SPU, page group
+	Action  string // what happened: "loan", "revoke", "evict", ...
+	Detail  string // free-form specifics
+}
+
+// String renders an event as one log line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%12s %-6s %-16s %s", e.At, e.Kind, e.Subject, e.Action)
+	}
+	return fmt.Sprintf("%12s %-6s %-16s %-10s %s", e.At, e.Kind, e.Subject, e.Action, e.Detail)
+}
+
+// Tracer is a bounded ring of events. The zero value is unusable; use
+// New. A nil Tracer is a valid no-op sink.
+type Tracer struct {
+	eng    *sim.Engine
+	ring   []Event
+	next   int
+	filled bool
+	counts [NumKinds]int64
+	mask   [NumKinds]bool
+}
+
+// New creates a tracer keeping the most recent capacity events (1024 if
+// capacity <= 0), recording all kinds.
+func New(eng *sim.Engine, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	t := &Tracer{eng: eng, ring: make([]Event, capacity)}
+	for i := range t.mask {
+		t.mask[i] = true
+	}
+	return t
+}
+
+// Only restricts recording to the given kinds (others are counted but
+// not stored). Calling Only with no kinds re-enables everything.
+func (t *Tracer) Only(kinds ...Kind) {
+	if t == nil {
+		return
+	}
+	if len(kinds) == 0 {
+		for i := range t.mask {
+			t.mask[i] = true
+		}
+		return
+	}
+	for i := range t.mask {
+		t.mask[i] = false
+	}
+	for _, k := range kinds {
+		t.mask[k] = true
+	}
+}
+
+// Emit records an event. Safe (and free) on a nil tracer.
+func (t *Tracer) Emit(kind Kind, subject, action, detail string) {
+	if t == nil {
+		return
+	}
+	t.counts[kind]++
+	if !t.mask[kind] {
+		return
+	}
+	t.ring[t.next] = Event{At: t.eng.Now(), Kind: kind, Subject: subject, Action: action, Detail: detail}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Emitf is Emit with a formatted detail string. The formatting cost is
+// only paid when the tracer is non-nil.
+func (t *Tracer) Emitf(kind Kind, subject, action, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(kind, subject, action, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of stored events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.filled {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Count returns how many events of the kind were emitted (including
+// ones filtered out of storage or overwritten by the ring).
+func (t *Tracer) Count(kind Kind) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[kind]
+}
+
+// Events returns the stored events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.Len())
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Find returns stored events whose action contains the given substring,
+// oldest-first.
+func (t *Tracer) Find(action string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if strings.Contains(e.Action, action) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the stored events to w, one line each.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

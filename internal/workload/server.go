@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fs"
+	"perfiso/internal/kernel"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// ServerParams shapes an interactive service: a dispatcher that spawns
+// one short-lived request handler every Interarrival. Each handler
+// optionally reads from the service's data file and then computes for
+// Service. Per-request latency is the handler process's response time.
+//
+// This workload exercises the paper's response-time concern (§3.1): an
+// interactive SPU needs its CPUs back *quickly* when a request arrives,
+// which is what bounds tail latency — and why the paper suggests IPI
+// revocation for "response time performance isolation guarantees".
+type ServerParams struct {
+	Requests     int
+	Interarrival sim.Time
+	Service      sim.Time // CPU per request
+	ReadBytes    int64    // bytes read from the data file per request (0 = none)
+	DataBytes    int64    // data file size (defaults to 4 MB when reads are used)
+}
+
+// DefaultServer returns a light interactive service: 200 requests, one
+// every 25 ms, 2 ms of CPU each.
+func DefaultServer() ServerParams {
+	return ServerParams{Requests: 200, Interarrival: 25 * sim.Millisecond, Service: 2 * sim.Millisecond}
+}
+
+// ServerJob is a running service: the dispatcher root and the request
+// handlers it spawns (populated as the run progresses).
+type ServerJob struct {
+	Root     *proc.Process
+	handlers []*proc.Process
+}
+
+// Latencies returns a sample of per-request latencies in seconds. Only
+// meaningful after the run completes.
+func (j *ServerJob) Latencies() *stats.Sample {
+	var s stats.Sample
+	for _, h := range j.handlers {
+		if h.State() == proc.Exited {
+			s.AddTime(h.ResponseTime())
+		}
+	}
+	return &s
+}
+
+// MaxLatency returns the worst request latency.
+func (j *ServerJob) MaxLatency() sim.Time {
+	var max sim.Time
+	for _, h := range j.handlers {
+		if h.State() == proc.Exited && h.ResponseTime() > max {
+			max = h.ResponseTime()
+		}
+	}
+	return max
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of request latencies,
+// e.g. 0.99 for the p99 tail.
+func (j *ServerJob) LatencyQuantile(q float64) sim.Time {
+	var vs []float64
+	for _, h := range j.handlers {
+		if h.State() == proc.Exited {
+			vs = append(vs, float64(h.ResponseTime()))
+		}
+	}
+	return sim.Time(stats.Quantile(vs, q))
+}
+
+// Server builds the interactive service for the SPU. The dispatcher
+// forks a handler per request and waits for all of them at the end.
+func Server(k *kernel.Kernel, spu core.SPUID, name string, p ServerParams) *ServerJob {
+	if p.Requests <= 0 {
+		panic(fmt.Sprintf("workload: server %q with %d requests", name, p.Requests))
+	}
+	job := &ServerJob{}
+	var data *fs.File
+	if p.ReadBytes > 0 {
+		size := p.DataBytes
+		if size <= 0 {
+			size = 4 << 20
+		}
+		data = k.AffinityAllocator(spu).NewFile(name+".data", size, fs.Contiguous, 0)
+	}
+	var steps []proc.Step
+	for i := 0; i < p.Requests; i++ {
+		var body []proc.Step
+		if data != nil {
+			off := (int64(i) * p.ReadBytes) % (data.Size - p.ReadBytes)
+			body = append(body, proc.Read{File: data, Off: off, N: p.ReadBytes})
+		}
+		body = append(body, proc.Compute{D: p.Service})
+		h := proc.New(k, spu, fmt.Sprintf("%s.req%d", name, i), body)
+		job.handlers = append(job.handlers, h)
+		steps = append(steps,
+			proc.Sleep{D: p.Interarrival},
+			proc.Fork{Child: h},
+		)
+	}
+	steps = append(steps, proc.WaitChildren{})
+	job.Root = proc.New(k, spu, name, steps)
+	return job
+}

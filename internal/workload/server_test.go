@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+)
+
+func TestServerCompletesAllRequests(t *testing.T) {
+	k, us := boot(core.PIso, 1)
+	p := DefaultServer()
+	p.Requests = 50
+	job := Server(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	k.Run()
+	if job.Root.State() != proc.Exited {
+		t.Fatal("dispatcher never finished")
+	}
+	lat := job.Latencies()
+	if lat.N() != 50 {
+		t.Fatalf("completed %d of 50 requests", lat.N())
+	}
+	// On an idle machine each request takes exactly its service time.
+	if got := sim.FromSeconds(lat.Mean()); got != p.Service {
+		t.Fatalf("mean latency %v, want %v", got, p.Service)
+	}
+}
+
+func TestServerWithReads(t *testing.T) {
+	k, us := boot(core.PIso, 1)
+	p := DefaultServer()
+	p.Requests = 20
+	p.ReadBytes = 64 * 1024
+	job := Server(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	k.Run()
+	if job.Latencies().N() != 20 {
+		t.Fatal("requests lost")
+	}
+	if k.FS().Stat.ReadReqs == 0 {
+		t.Fatal("no disk reads despite ReadBytes")
+	}
+	// First (cold) request pays disk time; warm ones may hit cache.
+	if job.MaxLatency() <= p.Service {
+		t.Fatal("max latency should exceed pure service time (cold read)")
+	}
+}
+
+func TestServerRejectsZeroRequests(t *testing.T) {
+	k, us := boot(core.PIso, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Server(k, us[0].ID(), "bad", ServerParams{})
+}
+
+// Response-time isolation: with a batch SPU hammering the machine, the
+// interactive SPU's tail latency explodes under SMP, stays bounded
+// under PIso, and tightens further with IPI revocation (§3.1).
+func TestServerTailLatencyIsolation(t *testing.T) {
+	run := func(scheme core.Scheme, ipi bool) sim.Time {
+		k, us := bootOpts(scheme, 2, ipi)
+		job := Server(k, us[0].ID(), "svc", DefaultServer())
+		k.Spawn(job.Root)
+		for i := 0; i < 16; i++ {
+			k.Spawn(ComputeBound(k, us[1].ID(), "batch", ComputeParams{
+				Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 20}))
+		}
+		k.Run()
+		return job.MaxLatency()
+	}
+	smp := run(core.SMP, false)
+	piso := run(core.PIso, false)
+	pisoIPI := run(core.PIso, true)
+	if float64(piso) > 0.8*float64(smp) {
+		t.Errorf("PIso tail %v not clearly below SMP %v", piso, smp)
+	}
+	if pisoIPI > piso {
+		t.Errorf("IPI tail %v worse than tick tail %v", pisoIPI, piso)
+	}
+	// With IPI revocation a request waits at most its own service time
+	// plus scheduling noise — no 10 ms tick delay.
+	if pisoIPI > 2*DefaultServer().Service+sim.Millisecond {
+		t.Errorf("IPI tail %v too high", pisoIPI)
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fs"
+	"perfiso/internal/sim"
+)
+
+// §2.2: pages accessed by multiple SPUs (shared libraries) move to the
+// shared SPU, whose cost all user SPUs bear.
+func TestSharedLibraryPagesRetagToSharedSPU(t *testing.T) {
+	k, us := boot(core.PIso, 2)
+	lib := k.Allocator(0).NewFile("libc.so", 512*1024, fs.Contiguous, 0) // 128 pages
+	params := DefaultPmake()
+	params.FilesPerCompile = 2
+	params.SharedLib = lib
+	j1 := Pmake(k, us[0].ID(), "job1", params)
+	j2 := Pmake(k, us[1].ID(), "job2", params)
+	k.Spawn(j1)
+	k.Spawn(j2)
+	k.Run()
+	shared := k.SPUs().Shared().Used(core.Memory)
+	if shared < 100 {
+		t.Fatalf("shared SPU holds %g pages; library pages were not re-tagged", shared)
+	}
+	// The library was read from disk at most ~once; the second SPU hit
+	// the cache (one read stream, not two).
+	if got := k.Memory().Stat.Retags; got < 100 {
+		t.Fatalf("retags = %d", got)
+	}
+}
+
+func TestServerLatencyQuantile(t *testing.T) {
+	k, us := boot(core.PIso, 1)
+	p := DefaultServer()
+	p.Requests = 40
+	job := Server(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	k.Run()
+	p50 := job.LatencyQuantile(0.5)
+	p99 := job.LatencyQuantile(0.99)
+	if p50 != p.Service {
+		t.Fatalf("p50 = %v, want %v on an idle machine", p50, p.Service)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v below p50 %v", p99, p50)
+	}
+	if job.LatencyQuantile(0) > job.LatencyQuantile(1) {
+		t.Fatal("quantile ordering broken")
+	}
+	_ = sim.Time(0)
+}
