@@ -1,115 +1,142 @@
 // Pisobench regenerates every table and figure of the paper's
 // evaluation (§4) plus the ablation studies, printing paper-style text
-// tables (or Markdown with -markdown). With -short it skips the
-// ablations.
+// tables (or Markdown with -markdown). Experiments come from the
+// registry in internal/experiment and run across a bounded worker pool
+// (-parallel); output order is always the registry order, so parallel
+// runs print byte-identical tables. With -short it skips the ablations;
+// -json writes a machine-readable benchmark report.
 //
 // Usage:
 //
-//	pisobench [-short] [-markdown] [-only fig2|fig3|fig5|fig7|tab3|tab4]
+//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH]
+//	pisobench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"perfiso/internal/experiment"
 	"perfiso/internal/stats"
 )
 
-func main() {
-	short := flag.Bool("short", false, "skip the ablation studies")
-	only := flag.String("only", "", "run a single experiment: fig2, fig3, fig5, fig7, tab3, tab4")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
-	compare := flag.Bool("compare", false, "print only the paper-vs-measured comparison")
-	flag.Parse()
-
-	show := func(t *stats.Table) {
-		if *markdown {
-			fmt.Println(t.Markdown())
-		} else {
-			fmt.Println(t)
-		}
-	}
-
-	if *compare {
-		show(experiment.RunComparison().Table())
-		return
-	}
-
-	if !*markdown {
-		printHeader()
-	}
-
-	want := func(id string) bool { return *only == "" || *only == id }
-
-	if want("fig2") || want("fig3") {
-		p := experiment.RunPmake8(experiment.Pmake8Options{})
-		if want("fig2") {
-			show(p.Fig2Table())
-			if !*markdown {
-				var labels []string
-				var vals []float64
-				for _, r := range p.Fig2Rows() {
-					labels = append(labels, r.Scheme.String()+" B", r.Scheme.String()+" U")
-					vals = append(vals, r.Balanced, r.Unbalanced)
-				}
-				fmt.Println(stats.Bars("", labels, vals, 40))
-			}
-		}
-		if want("fig3") {
-			show(p.Fig3Table())
-			if !*markdown {
-				var labels []string
-				var vals []float64
-				for _, r := range p.Fig3Rows() {
-					labels = append(labels, r.Scheme.String())
-					vals = append(vals, r.Heavy)
-				}
-				fmt.Println(stats.Bars("", labels, vals, 40))
-			}
-		}
-	}
-	if want("fig5") {
-		show(experiment.RunCPUIso(experiment.CPUIsoOptions{}).Table())
-	}
-	if want("fig7") {
-		show(experiment.RunMemIso(experiment.MemIsoOptions{}).Table())
-	}
-	if want("tab3") {
-		show(experiment.RunTable3(experiment.DiskOptions{}).Table())
-	}
-	if want("tab4") {
-		show(experiment.RunTable4(experiment.DiskOptions{}).Table())
-	}
-	if *only != "" {
-		return
-	}
-	if *short {
-		fmt.Fprintln(os.Stderr, "(-short: skipping ablations)")
-		return
-	}
-	show(experiment.RunAblationBWThreshold(nil).Table())
-	show(experiment.RunAblationReserve(nil).Table())
-	show(experiment.RunAblationInodeLock().Table())
-	show(experiment.RunAblationPageInsert().Table())
-	show(experiment.RunAblationRevocation().Table())
-	show(experiment.RunAblationAffinity().Table())
-	show(experiment.RunAblationGang().Table())
-	show(experiment.RunAblationNetwork().Table())
-	show(experiment.RunServerLatency().Table())
+// config holds the parsed flag values so the dispatch logic is testable
+// without re-executing the binary.
+type config struct {
+	short    bool
+	markdown bool
+	compare  bool
+	list     bool
+	only     string
+	parallel int
+	jsonPath string
 }
 
-func printHeader() {
-	fmt.Println("perfiso evaluation — reproduction of Verghese, Gupta & Rosenblum,")
-	fmt.Println("\"Performance Isolation\", ASPLOS 1998. Table 1 machines:")
-	fmt.Println()
-	fmt.Println("  Pmake8:           8 CPUs, 44 MB, 8 fast disks; 8 SPUs, pmake jobs")
-	fmt.Println("  CPU isolation:    8 CPUs, 64 MB; Ocean vs 3x Flashlite + 3x VCS")
-	fmt.Println("  Memory isolation: 4 CPUs, 16 MB; pmake jobs under memory pressure")
-	fmt.Println("  Disk isolation:   2 CPUs, 44 MB, one shared HP 97560 (seek x1/2)")
-	fmt.Println()
-	fmt.Println("Table 2 schemes: SMP (unconstrained sharing), Quo (fixed quotas),")
-	fmt.Println("PIso (performance isolation). Normalized numbers use SMP = 100.")
-	fmt.Println()
+func main() {
+	var cfg config
+	flag.BoolVar(&cfg.short, "short", false, "skip the ablation studies")
+	flag.StringVar(&cfg.only, "only", "", "run a single experiment id or alias (see -list)")
+	flag.BoolVar(&cfg.markdown, "markdown", false, "emit GitHub-flavored Markdown tables")
+	flag.BoolVar(&cfg.compare, "compare", false, "print only the paper-vs-measured comparison")
+	flag.BoolVar(&cfg.list, "list", false, "list registered experiment ids and exit")
+	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
+	flag.Parse()
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
+
+// run executes one pisobench invocation, writing tables to stdout and
+// diagnostics to stderr, and returns the process exit code.
+func run(cfg config, stdout, stderr io.Writer) int {
+	show := func(t *stats.Table) {
+		if cfg.markdown {
+			fmt.Fprintln(stdout, t.Markdown())
+		} else {
+			fmt.Fprintln(stdout, t)
+		}
+	}
+
+	if cfg.compare {
+		show(experiment.RunComparison().Table())
+		return 0
+	}
+	if cfg.list {
+		for _, s := range experiment.Registry() {
+			alias := ""
+			if len(s.Aliases) > 0 {
+				alias = " (alias " + strings.Join(s.Aliases, ", ") + ")"
+			}
+			fmt.Fprintf(stdout, "%-16s %s%s\n", s.ID, s.Title, alias)
+		}
+		return 0
+	}
+
+	specs := experiment.Filter(experiment.Registry(), cfg.only, cfg.short)
+	if len(specs) == 0 {
+		fmt.Fprintf(stderr, "unknown experiment %q; known ids: %s\n",
+			cfg.only, strings.Join(experiment.IDs(), ", "))
+		return 2
+	}
+
+	if !cfg.markdown {
+		printHeader(stdout)
+	}
+
+	start := time.Now()
+	results := experiment.RunAll(specs, cfg.parallel)
+	wall := time.Since(start)
+
+	for _, r := range results {
+		for _, sec := range r.Output.Sections {
+			// A multi-section spec matched via an alias prints only the
+			// section that alias names (-only fig3 skips fig2's table).
+			if cfg.only != "" && cfg.only != r.Spec.ID && cfg.only != sec.ID {
+				continue
+			}
+			show(sec.Table)
+			if sec.Bars != nil && !cfg.markdown {
+				fmt.Fprintln(stdout, stats.Bars("", sec.Bars.Labels, sec.Bars.Values, 40))
+			}
+		}
+	}
+	if cfg.short && cfg.only == "" {
+		fmt.Fprintln(stderr, "(-short: skipping ablations)")
+	}
+
+	bench := experiment.BenchReport(results, cfg.parallel, cfg.short, wall)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "%d experiments, %d events in %.2fs wall (parallel=%d, %.2fM events/s)\n",
+		len(results), bench.Events, wall.Seconds(), cfg.parallel,
+		float64(bench.Events)/wall.Seconds()/1e6)
+	return 0
+}
+
+func printHeader(w io.Writer) {
+	fmt.Fprintln(w, "perfiso evaluation — reproduction of Verghese, Gupta & Rosenblum,")
+	fmt.Fprintln(w, "\"Performance Isolation\", ASPLOS 1998. Table 1 machines:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  Pmake8:           8 CPUs, 44 MB, 8 fast disks; 8 SPUs, pmake jobs")
+	fmt.Fprintln(w, "  CPU isolation:    8 CPUs, 64 MB; Ocean vs 3x Flashlite + 3x VCS")
+	fmt.Fprintln(w, "  Memory isolation: 4 CPUs, 16 MB; pmake jobs under memory pressure")
+	fmt.Fprintln(w, "  Disk isolation:   2 CPUs, 44 MB, one shared HP 97560 (seek x1/2)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table 2 schemes: SMP (unconstrained sharing), Quo (fixed quotas),")
+	fmt.Fprintln(w, "PIso (performance isolation). Normalized numbers use SMP = 100.")
+	fmt.Fprintln(w)
 }

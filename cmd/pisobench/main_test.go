@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfiso/internal/experiment"
+)
+
+// Every -only id the seed binary accepted, plus the new registry ids,
+// must resolve through the registry.
+func TestOnlyIDsResolve(t *testing.T) {
+	legacy := []string{"fig2", "fig3", "fig5", "fig7", "tab3", "tab4"}
+	for _, id := range append(legacy, experiment.IDs()...) {
+		if _, ok := experiment.Lookup(id); !ok {
+			t.Errorf("-only %s does not resolve", id)
+		}
+	}
+}
+
+func TestRunUnknownIDFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{only: "bogus", parallel: 1}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{list: true}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, id := range experiment.IDs() {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+// End-to-end: the short suite under parallel workers writes a
+// well-formed JSON benchmark report with non-trivial contents.
+func TestRunShortParallelWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full short suite")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_pisobench.json")
+	var out, errOut strings.Builder
+	code := run(config{short: true, parallel: 2, jsonPath: path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Fatal("stdout missing Figure 2 table")
+	}
+	if !strings.Contains(errOut.String(), "skipping ablations") {
+		t.Fatalf("stderr missing -short note: %q", errOut.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b experiment.Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if b.Suite != "pisobench" || b.Parallel != 2 || !b.Short {
+		t.Fatalf("report metadata: %+v", b)
+	}
+	if len(b.Experiments) != 5 {
+		t.Fatalf("short suite recorded %d experiments, want 5", len(b.Experiments))
+	}
+	if b.Events == 0 || b.WallSeconds <= 0 {
+		t.Fatalf("missing totals: events=%d wall=%g", b.Events, b.WallSeconds)
+	}
+	for _, e := range b.Experiments {
+		if e.Events == 0 || e.WallSeconds <= 0 || e.EventsPerSec <= 0 {
+			t.Fatalf("experiment %q has empty perf data: %+v", e.ID, e)
+		}
+		if len(e.Rows) == 0 {
+			t.Fatalf("experiment %q has no headline rows", e.ID)
+		}
+	}
+}
+
+// -only through an alias prints just that section's table.
+func TestRunOnlyAliasPrintsOneSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pmake8 batch")
+	}
+	var out, errOut strings.Builder
+	if code := run(config{only: "fig3", parallel: 1}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if strings.Contains(out.String(), "Figure 2") {
+		t.Fatal("-only fig3 printed the Figure 2 table")
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Fatal("-only fig3 missing the Figure 3 table")
+	}
+}

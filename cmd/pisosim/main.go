@@ -1,5 +1,6 @@
 // Pisosim runs a single workload/scheme combination on the simulated
-// machine and prints per-job response times and machine statistics.
+// machine and prints per-job response times and machine statistics. The
+// workloads come from the perfiso.Workloads registry.
 //
 // Usage:
 //
@@ -10,163 +11,107 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"perfiso"
 	"perfiso/internal/scenario"
 )
 
 func main() {
-	workloadName := flag.String("workload", "pmake8", "pmake8, cpu, mem, or disk")
-	schemeName := flag.String("scheme", "PIso", "SMP, Quo, or PIso")
-	diskSched := flag.String("disksched", "", "override disk policy: Pos, Iso, or PIso")
-	unbalanced := flag.Bool("unbalanced", false, "use the unbalanced job distribution (pmake8, mem)")
-	traceN := flag.Int("trace", 0, "dump the last N resource-management decisions")
-	timeline := flag.Bool("timeline", false, "render per-SPU usage sparklines")
-	specPath := flag.String("spec", "", "run a declarative JSON scenario and print a JSON result")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args, dispatches through the workload registry, and
+// returns the process exit code. Split from main so tests can drive the
+// full flag→lookup→report path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pisosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workloadName := fs.String("workload", "pmake8", "one of: "+strings.Join(perfiso.WorkloadNames(), ", "))
+	schemeName := fs.String("scheme", "PIso", "SMP, Quo, or PIso")
+	diskSched := fs.String("disksched", "", "override disk policy: Pos, Iso, or PIso")
+	unbalanced := fs.Bool("unbalanced", false, "use the unbalanced job distribution (pmake8, mem)")
+	traceN := fs.Int("trace", 0, "dump the last N resource-management decisions")
+	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
+	specPath := fs.String("spec", "", "run a declarative JSON scenario and print a JSON result")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		spec, err := scenario.Parse(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		res, err := spec.Run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println(res.JSON())
-		return
+		fmt.Fprintln(stdout, res.JSON())
+		return 0
 	}
 
-	var scheme perfiso.Scheme
-	switch *schemeName {
-	case "SMP":
-		scheme = perfiso.SMP
-	case "Quo":
-		scheme = perfiso.Quo
-	case "PIso":
-		scheme = perfiso.PIso
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+	scheme, ok := parseScheme(*schemeName)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown scheme %q\n", *schemeName)
+		return 2
 	}
+	w, ok := perfiso.LookupWorkload(*workloadName)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown workload %q; known: %s\n",
+			*workloadName, strings.Join(perfiso.WorkloadNames(), ", "))
+		return 2
+	}
+
 	opts := perfiso.Options{DiskSched: *diskSched, TraceCapacity: *traceN}
 	if *timeline {
 		opts.TimelinePeriod = 100 * perfiso.Millisecond
 	}
 
-	switch *workloadName {
-	case "pmake8":
-		runPmake8(scheme, opts, *unbalanced)
-	case "cpu":
-		runCPU(scheme, opts)
-	case "mem":
-		runMem(scheme, opts, *unbalanced)
-	case "disk":
-		runDisk(scheme, opts)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadName)
-		os.Exit(2)
+	sys := w.Build(scheme, opts, *unbalanced)
+	sys.Run()
+	for _, j := range sys.Jobs() {
+		fmt.Fprintf(stdout, "%-12s %.2fs\n", j.Name, j.ResponseTime().Seconds())
 	}
+	if w.Name == "disk" {
+		_, wait, pos := sys.DiskStats(0)
+		fmt.Fprintf(stdout, "disk: mean wait %.1fms, mean positioning %.2fms\n", wait*1000, pos*1000)
+	}
+	report(sys, stdout)
+	return 0
 }
 
-func report(sys *perfiso.System) {
+func parseScheme(name string) (perfiso.Scheme, bool) {
+	switch name {
+	case "SMP":
+		return perfiso.SMP, true
+	case "Quo":
+		return perfiso.Quo, true
+	case "PIso":
+		return perfiso.PIso, true
+	}
+	return perfiso.SMP, false
+}
+
+func report(sys *perfiso.System, w io.Writer) {
 	rep := sys.Report()
-	fmt.Printf("\nmakespan %.2fs  cpu-util %.0f%%  disk-reqs %d  reclaims %d  dirty-writes %d\n",
+	fmt.Fprintf(w, "\nmakespan %.2fs  cpu-util %.0f%%  disk-reqs %d  reclaims %d  dirty-writes %d\n",
 		rep.Makespan.Seconds(), 100*rep.CPUUtilization, rep.DiskRequests,
 		rep.PageReclaims, rep.DirtyWrites)
 	if tl := sys.Kernel().Timeline(); tl != nil {
-		fmt.Printf("\nper-SPU usage over time (CPUs / MB):\n%s", tl.Render(64))
+		fmt.Fprintf(w, "\nper-SPU usage over time (CPUs / MB):\n%s", tl.Render(64))
 	}
 	if tr := sys.Kernel().Tracer(); tr != nil && tr.Len() > 0 {
-		fmt.Printf("\nlast %d resource-management decisions:\n", tr.Len())
-		tr.Dump(os.Stdout)
+		fmt.Fprintf(w, "\nlast %d resource-management decisions:\n", tr.Len())
+		tr.Dump(w)
 	}
-}
-
-func runPmake8(scheme perfiso.Scheme, opts perfiso.Options, unbalanced bool) {
-	sys := perfiso.New(perfiso.Pmake8Machine(), scheme, opts)
-	var spus []*perfiso.SPU
-	for i := 0; i < 8; i++ {
-		s := sys.NewSPU(fmt.Sprintf("user%d", i+1), 1)
-		sys.SetAffinity(s.ID(), i)
-		spus = append(spus, s)
-	}
-	sys.Boot()
-	for i, s := range spus {
-		jobs := 1
-		if unbalanced && i >= 4 {
-			jobs = 2
-		}
-		for j := 0; j < jobs; j++ {
-			sys.Pmake(s, fmt.Sprintf("pmake%d.%d", i+1, j), perfiso.DefaultPmake())
-		}
-	}
-	sys.Run()
-	for _, j := range sys.Jobs() {
-		fmt.Printf("%-12s %.2fs\n", j.Name, j.ResponseTime().Seconds())
-	}
-	report(sys)
-}
-
-func runCPU(scheme perfiso.Scheme, opts perfiso.Options) {
-	sys := perfiso.New(perfiso.CPUIsolationMachine(), scheme, opts)
-	s1 := sys.NewSPU("ocean", 1)
-	s2 := sys.NewSPU("eda", 1)
-	sys.Boot()
-	sys.Ocean(s1, "ocean", perfiso.DefaultOcean())
-	for i := 0; i < 3; i++ {
-		sys.ComputeBound(s2, fmt.Sprintf("flashlite%d", i), perfiso.DefaultFlashlite())
-		sys.ComputeBound(s2, fmt.Sprintf("vcs%d", i), perfiso.DefaultVCS())
-	}
-	sys.Run()
-	for _, j := range sys.Jobs() {
-		fmt.Printf("%-12s %.2fs\n", j.Name, j.ResponseTime().Seconds())
-	}
-	report(sys)
-}
-
-func runMem(scheme perfiso.Scheme, opts perfiso.Options, unbalanced bool) {
-	sys := perfiso.New(perfiso.MemIsolationMachine(), scheme, opts)
-	s1 := sys.NewSPU("spu1", 1)
-	s2 := sys.NewSPU("spu2", 1)
-	sys.SetAffinity(s1.ID(), 0)
-	sys.SetAffinity(s2.ID(), 1)
-	sys.Boot()
-	sys.Pmake(s1, "job1", perfiso.MemPmake())
-	sys.Pmake(s2, "job2a", perfiso.MemPmake())
-	if unbalanced {
-		sys.Pmake(s2, "job2b", perfiso.MemPmake())
-	}
-	sys.Run()
-	for _, j := range sys.Jobs() {
-		fmt.Printf("%-12s %.2fs\n", j.Name, j.ResponseTime().Seconds())
-	}
-	report(sys)
-}
-
-func runDisk(scheme perfiso.Scheme, opts perfiso.Options) {
-	sys := perfiso.New(perfiso.DiskIsolationMachine(), scheme, opts)
-	s1 := sys.NewSPU("pmake", 1)
-	s2 := sys.NewSPU("copy", 1)
-	sys.SetAffinity(s1.ID(), 0)
-	sys.SetAffinity(s2.ID(), 0)
-	sys.Boot()
-	sys.Pmake(s1, "pmake", perfiso.DiskPmake())
-	sys.Copy(s2, "copy", perfiso.DefaultCopy(20*1024*1024))
-	sys.Run()
-	for _, j := range sys.Jobs() {
-		fmt.Printf("%-12s %.2fs\n", j.Name, j.ResponseTime().Seconds())
-	}
-	_, wait, pos := sys.DiskStats(0)
-	fmt.Printf("disk: mean wait %.1fms, mean positioning %.2fms\n", wait*1000, pos*1000)
-	report(sys)
 }

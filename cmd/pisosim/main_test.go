@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso"
+)
+
+// Every documented -workload name must resolve through the registry,
+// and every registry entry must build a bootable system.
+func TestWorkloadNamesResolve(t *testing.T) {
+	for _, name := range []string{"pmake8", "cpu", "mem", "disk"} {
+		w, ok := perfiso.LookupWorkload(name)
+		if !ok {
+			t.Errorf("-workload %s does not resolve", name)
+			continue
+		}
+		if w.Build == nil || w.Desc == "" {
+			t.Errorf("workload %q is incomplete: %+v", name, w)
+		}
+	}
+	if _, ok := perfiso.LookupWorkload("bogus"); ok {
+		t.Fatal("LookupWorkload accepted an unknown name")
+	}
+	if names := perfiso.WorkloadNames(); len(names) != len(perfiso.Workloads()) {
+		t.Fatalf("WorkloadNames() = %v", names)
+	}
+}
+
+func TestRunUnknownWorkloadFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown workload") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunUnknownSchemeFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scheme", "XYZ"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scheme") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunBadFlagFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// Smoke test: dispatch the disk workload end to end through the
+// registry and check the report reaches stdout.
+func TestRunDiskWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "disk", "-scheme", "PIso"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"pmake", "copy", "disk: mean wait", "makespan"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}

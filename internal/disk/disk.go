@@ -201,7 +201,7 @@ func (d *Disk) startNext() {
 	xfer := d.params.TransferTime(r.Sector, r.Count)
 	total := d.params.Overhead + seek + rot + xfer
 
-	d.eng.After(total, "disk.complete", func() { d.complete(r) })
+	d.eng.CallAfter(total, "disk.complete", func() { d.complete(r) })
 	// The head ends up over the last cylinder touched by the transfer.
 	d.headCyl = d.params.CylinderOf(r.Sector + int64(r.Count) - 1)
 	d.lastEnd = r.Sector + int64(r.Count)

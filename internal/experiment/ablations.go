@@ -17,6 +17,7 @@ import (
 // scheduling. Larger values imply smaller seek times, and a very large
 // value results in the normal disk-head-position scheduling."
 type BWThresholdResult struct {
+	Meter
 	Thresholds []float64 // sectors
 	Small      stats.Series
 	Big        stats.Series
@@ -47,6 +48,7 @@ func RunAblationBWThreshold(thresholds []float64) BWThresholdResult {
 		k.Spawn(big)
 		k.Spawn(small)
 		k.Run()
+		res.count(k)
 		res.Small.Add(th, small.ResponseTime().Seconds())
 		res.Big.Add(th, big.ResponseTime().Seconds())
 		res.Latency.Add(th, k.Disk(0).Total.Pos.Mean()*1000)
@@ -70,6 +72,7 @@ func (r BWThresholdResult) Table() *stats.Table {
 // isolation workload: the reserve hides revocation cost for the lender
 // (SPU1) at the price of lending less to the borrower (SPU2).
 type ReserveResult struct {
+	Meter
 	Fractions []float64
 	SPU1      stats.Series // lender response (s), unbalanced PIso
 	SPU2      stats.Series // borrower response (s), unbalanced PIso
@@ -98,6 +101,7 @@ func RunAblationReserve(fractions []float64) ReserveResult {
 		k.Spawn(j2a)
 		k.Spawn(j2b)
 		k.Run()
+		res.count(k)
 		res.SPU1.Add(f, j1.ResponseTime().Seconds())
 		res.SPU2.Add(f, (j2a.ResponseTime()+j2b.ResponseTime()).Seconds()/2)
 	}
@@ -120,6 +124,7 @@ func (r ReserveResult) Table() *stats.Table {
 // root-inode contention "has the potential to completely break
 // performance isolation", and saw up to 20-30% better response time.
 type InodeLockResult struct {
+	Meter
 	MutexResp sim.Time // mean pmake job response with the mutex lock
 	RWResp    sim.Time // with the readers-writer lock
 	MutexWait sim.Time // mean root-inode queueing delay, mutex
@@ -131,6 +136,7 @@ type InodeLockResult struct {
 // raised to make the serialization visible at this machine scale, as it
 // was on the paper's four-processor runs.
 func RunAblationInodeLock() InodeLockResult {
+	var res InodeLockResult
 	run := func(mutex bool) (sim.Time, sim.Time) {
 		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{InodeMutex: mutex})
 		var spus []core.SPUID
@@ -151,11 +157,12 @@ func RunAblationInodeLock() InodeLockResult {
 			k.Spawn(workload.Pmake(k, id, fmt.Sprintf("pmake%d", i), params))
 		}
 		end := k.Run()
+		res.count(k)
 		return end, k.FS().RootInode.MeanWait()
 	}
-	mResp, mWait := run(true)
-	rResp, rWait := run(false)
-	return InodeLockResult{MutexResp: mResp, RWResp: rResp, MutexWait: mWait, RWWait: rWait}
+	res.MutexResp, res.MutexWait = run(true)
+	res.RWResp, res.RWWait = run(false)
+	return res
 }
 
 // Table renders the inode-lock comparison.
@@ -172,6 +179,7 @@ func (r InodeLockResult) Table() *stats.Table {
 // CPU revocation on the CPU-isolation workload (§3.1: an IPI "might be
 // needed to provide response time performance isolation guarantees").
 type RevocationResult struct {
+	Meter
 	TickOcean sim.Time
 	IPIOcean  sim.Time
 	TickEda   sim.Time // mean Flashlite+VCS response
@@ -181,6 +189,7 @@ type RevocationResult struct {
 // RunAblationRevocation runs the Fig 5 workload under both revocation
 // mechanisms (PIso scheme).
 func RunAblationRevocation() RevocationResult {
+	var res RevocationResult
 	run := func(ipi bool) (ocean, eda sim.Time) {
 		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{IPIRevoke: ipi})
 		spu1 := k.NewSPU("ocean", 1)
@@ -199,15 +208,16 @@ func RunAblationRevocation() RevocationResult {
 			edaJobs = append(edaJobs, f, v)
 		}
 		k.Run()
+		res.count(k)
 		var sum sim.Time
 		for _, j := range edaJobs {
 			sum += j.ResponseTime()
 		}
 		return oc.ResponseTime(), sum / sim.Time(len(edaJobs))
 	}
-	tOcean, tEda := run(false)
-	iOcean, iEda := run(true)
-	return RevocationResult{TickOcean: tOcean, IPIOcean: iOcean, TickEda: tEda, IPIEda: iEda}
+	res.TickOcean, res.TickEda = run(false)
+	res.IPIOcean, res.IPIEda = run(true)
+	return res
 }
 
 // Table renders the revocation comparison.
@@ -223,6 +233,7 @@ func (r RevocationResult) Table() *stats.Table {
 // NetworkResult is the §5 network-bandwidth extension demonstration:
 // the light sender's completion under FCFS vs the fairness policy.
 type NetworkResult struct {
+	Meter
 	FCFSLight sim.Time
 	FairLight sim.Time
 	FCFSHeavy sim.Time
@@ -232,6 +243,7 @@ type NetworkResult struct {
 // RunAblationNetwork floods a 10 MB/s link from one SPU while another
 // sends a short burst, under both link policies.
 func RunAblationNetwork() NetworkResult {
+	var res NetworkResult
 	run := func(policy netbw.Policy) (light, heavy sim.Time) {
 		eng := sim.NewEngine()
 		l := netbw.NewLink(eng, 10e6, policy, 16*1024, 0)
@@ -246,11 +258,12 @@ func RunAblationNetwork() NetworkResult {
 				Done: func(p *netbw.Packet) { light = p.Finished }})
 		}
 		eng.Run()
+		res.countEngine(eng)
 		return light, heavy
 	}
-	fl, fh := run(netbw.FCFS)
-	al, ah := run(netbw.Fair)
-	return NetworkResult{FCFSLight: fl, FairLight: al, FCFSHeavy: fh, FairHeavy: ah}
+	res.FCFSLight, res.FCFSHeavy = run(netbw.FCFS)
+	res.FairLight, res.FairHeavy = run(netbw.Fair)
+	return res
 }
 
 // Table renders the network comparison.

@@ -18,6 +18,7 @@ type CompareRow struct {
 // Comparison is the paper-vs-measured summary (the machine-generated
 // core of EXPERIMENTS.md).
 type Comparison struct {
+	Meter
 	Rows []CompareRow
 }
 
@@ -107,6 +108,7 @@ func RunComparison() Comparison {
 		add("tab4", "PIso big wait vs Iso", -30,
 			100*(float64(pi4.WaitB)/float64(i4.WaitB)-1), "%")
 	}
+	c.Events = p.Events + m.Events + t3.Events + t4.Events
 	return c
 }
 

@@ -22,6 +22,7 @@ type CPUIsoRun struct {
 
 // CPUIsoResult carries Figure 5.
 type CPUIsoResult struct {
+	Meter
 	Runs map[core.Scheme]CPUIsoRun
 }
 
@@ -55,12 +56,12 @@ func RunCPUIso(opts CPUIsoOptions) CPUIsoResult {
 	opts = opts.withDefaults()
 	res := CPUIsoResult{Runs: make(map[core.Scheme]CPUIsoRun)}
 	for _, scheme := range Schemes {
-		res.Runs[scheme] = runCPUIsoConfig(scheme, opts)
+		res.Runs[scheme] = runCPUIsoConfig(scheme, opts, &res.Meter)
 	}
 	return res
 }
 
-func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions) CPUIsoRun {
+func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions, m *Meter) CPUIsoRun {
 	k := kernel.New(machine.CPUIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("ocean", 1)
 	spu2 := k.NewSPU("eda", 1)
@@ -80,6 +81,7 @@ func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions) CPUIsoRun {
 		k.Spawn(v)
 	}
 	k.Run()
+	m.count(k)
 	mean := func(ps []*proc.Process) sim.Time {
 		ts := make([]sim.Time, len(ps))
 		for i, p := range ps {

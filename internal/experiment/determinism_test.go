@@ -11,8 +11,9 @@ import (
 // produces bit-identical results. This is what makes every shape
 // assertion in this package meaningful rather than flaky.
 func TestEndToEndDeterminism(t *testing.T) {
-	a := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()})
-	b := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()})
+	var m Meter
+	a := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()}, &m)
+	b := runPmake8Config(core.PIso, true, Pmake8Options{Params: workload.DefaultPmake()}, &m)
 	if a.Light != b.Light || a.Heavy != b.Heavy {
 		t.Fatalf("identical runs diverged: %+v vs %+v", a, b)
 	}

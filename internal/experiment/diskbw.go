@@ -31,6 +31,7 @@ type DiskRow struct {
 
 // DiskResult carries one of the §4.5 tables.
 type DiskResult struct {
+	Meter
 	Title          string
 	LabelA, LabelB string
 	Rows           []DiskRow
@@ -64,6 +65,7 @@ func RunTable3(opts DiskOptions) DiskResult {
 		k.Spawn(pmk)
 		k.Spawn(cpy)
 		k.Run()
+		res.count(k)
 
 		d := k.Disk(0)
 		row := DiskRow{
@@ -111,6 +113,7 @@ func RunTable4(opts DiskOptions) DiskResult {
 		k.Spawn(big)
 		k.Spawn(small)
 		k.Run()
+		res.count(k)
 
 		d := k.Disk(0)
 		row := DiskRow{

@@ -16,6 +16,7 @@ import (
 // would need ("Accommodating gang-scheduled [Ous82] parallel
 // applications would require some modifications").
 type GangResult struct {
+	Meter
 	PlainOcean sim.Time // individually scheduled, with interference
 	GangOcean  sim.Time // gang scheduled, same interference
 	AloneOcean sim.Time // no interference (lower bound)
@@ -25,6 +26,7 @@ type GangResult struct {
 // under the SMP scheme (a single global runqueue, the worst case for a
 // barrier-synchronized gang), with and without gang scheduling.
 func RunAblationGang() GangResult {
+	var res GangResult
 	run := func(gang, interference bool) sim.Time {
 		k := kernel.New(machine.CPUIsolation(), core.SMP, kernel.Options{})
 		s := k.NewSPU("all", 1)
@@ -40,13 +42,13 @@ func RunAblationGang() GangResult {
 			}
 		}
 		k.Run()
+		res.count(k)
 		return oc.ResponseTime()
 	}
-	return GangResult{
-		PlainOcean: run(false, true),
-		GangOcean:  run(true, true),
-		AloneOcean: run(false, false),
-	}
+	res.PlainOcean = run(false, true)
+	res.GangOcean = run(true, true)
+	res.AloneOcean = run(false, false)
+	return res
 }
 
 // Table renders the gang-scheduling comparison.
@@ -64,6 +66,7 @@ func (r GangResult) Table() *stats.Table {
 // interactive service against a batch SPU, across schemes and
 // revocation mechanisms — the concern behind §3.1's IPI suggestion.
 type ServerLatencyResult struct {
+	Meter
 	Rows []ServerLatencyRow
 }
 
@@ -77,6 +80,7 @@ type ServerLatencyRow struct {
 // RunServerLatency measures the service's request latencies under SMP,
 // Quo, PIso with tick revocation, and PIso with IPI revocation.
 func RunServerLatency() ServerLatencyResult {
+	var res ServerLatencyResult
 	run := func(scheme core.Scheme, ipi bool) (sim.Time, sim.Time) {
 		k := kernel.New(machine.CPUIsolation(), scheme, kernel.Options{IPIRevoke: ipi})
 		svc := k.NewSPU("service", 1)
@@ -89,10 +93,10 @@ func RunServerLatency() ServerLatencyResult {
 				workload.ComputeParams{Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 50}))
 		}
 		k.Run()
+		res.count(k)
 		lat := job.Latencies()
 		return sim.FromSeconds(lat.Mean()), job.MaxLatency()
 	}
-	var res ServerLatencyResult
 	configs := []struct {
 		name   string
 		scheme core.Scheme
@@ -136,6 +140,7 @@ func (r ServerLatencyResult) Table() *stats.Table {
 // ("preventing frequent reallocation of CPUs") recovers most of the
 // loss at a modest cost to the borrowers.
 type AffinityResult struct {
+	Meter
 	Rows []AffinityRow
 }
 
@@ -151,6 +156,7 @@ type AffinityRow struct {
 // RunAblationAffinity runs the Fig 5 workload under PIso with the cache
 // model off, on, and on with the loan rate limiter.
 func RunAblationAffinity() AffinityResult {
+	var res AffinityResult
 	run := func(name string, reload, minLoan sim.Time) AffinityRow {
 		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{
 			CacheReload: reload, MinLoanInterval: minLoan,
@@ -169,6 +175,7 @@ func RunAblationAffinity() AffinityResult {
 			jobs = append(jobs, f, v)
 		}
 		k.Run()
+		res.count(k)
 		var sum sim.Time
 		for _, j := range jobs {
 			sum += j.ResponseTime()
@@ -181,11 +188,12 @@ func RunAblationAffinity() AffinityResult {
 			Revocations: k.Scheduler().Stat.Revocations,
 		}
 	}
-	return AffinityResult{Rows: []AffinityRow{
+	res.Rows = []AffinityRow{
 		run("no cache model", 0, 0),
 		run("cache reload 1ms", sim.Millisecond, 0),
 		run("reload + loan limiter", sim.Millisecond, 300*sim.Millisecond),
-	}}
+	}
+	return res
 }
 
 // Row returns the row for a config name, or nil.
@@ -211,6 +219,7 @@ func (r AffinityResult) Table() *stats.Table {
 
 // PageInsertResult is the §3.4 page-insert-lock granularity comparison.
 type PageInsertResult struct {
+	Meter
 	CoarseResp  sim.Time // makespan with 1 stripe
 	StripedResp sim.Time // makespan with the fixed kernel's striping
 	CoarseWait  sim.Time // total lock queueing, coarse
@@ -221,6 +230,7 @@ type PageInsertResult struct {
 // concurrent cold reads) under both lock granularities, with the hold
 // time raised so the serialization is visible at this machine scale.
 func RunAblationPageInsert() PageInsertResult {
+	var res PageInsertResult
 	run := func(stripes int) (sim.Time, sim.Time) {
 		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{PageInsertStripes: stripes})
 		var spus []core.SPUID
@@ -236,12 +246,13 @@ func RunAblationPageInsert() PageInsertResult {
 			k.Spawn(workload.Pmake(k, id, fmt.Sprintf("pmake%d", i), params))
 		}
 		end := k.Run()
+		res.count(k)
 		_, wait := k.FS().PageInsertContention()
 		return end, wait
 	}
-	cResp, cWait := run(1)
-	sResp, sWait := run(0) // default striping
-	return PageInsertResult{CoarseResp: cResp, StripedResp: sResp, CoarseWait: cWait, StripedWait: sWait}
+	res.CoarseResp, res.CoarseWait = run(1)
+	res.StripedResp, res.StripedWait = run(0) // default striping
+	return res
 }
 
 // Table renders the page-insert-lock comparison.

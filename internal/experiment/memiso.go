@@ -19,6 +19,7 @@ type MemIsoRun struct {
 // MemIsoResult carries Figure 7: both graphs derive from the balanced
 // and unbalanced runs per scheme.
 type MemIsoResult struct {
+	Meter
 	Balanced   map[core.Scheme]MemIsoRun
 	Unbalanced map[core.Scheme]MemIsoRun
 	BaseSMP    sim.Time // SMP balanced SPU1 response (normalization base)
@@ -43,14 +44,14 @@ func RunMemIso(opts MemIsoOptions) MemIsoResult {
 		Unbalanced: make(map[core.Scheme]MemIsoRun),
 	}
 	for _, scheme := range Schemes {
-		res.Balanced[scheme] = runMemIsoConfig(scheme, false, opts)
-		res.Unbalanced[scheme] = runMemIsoConfig(scheme, true, opts)
+		res.Balanced[scheme] = runMemIsoConfig(scheme, false, opts, &res.Meter)
+		res.Unbalanced[scheme] = runMemIsoConfig(scheme, true, opts, &res.Meter)
 	}
 	res.BaseSMP = res.Balanced[core.SMP].SPU1
 	return res
 }
 
-func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions) MemIsoRun {
+func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions, m *Meter) MemIsoRun {
 	k := kernel.New(machine.MemoryIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("spu1", 1)
 	spu2 := k.NewSPU("spu2", 1)
@@ -68,6 +69,7 @@ func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions) Me
 		k.Spawn(j)
 	}
 	k.Run()
+	m.count(k)
 	ts := make([]sim.Time, len(jobs2))
 	for i, j := range jobs2 {
 		ts[i] = j.ResponseTime()

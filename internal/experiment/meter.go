@@ -1,0 +1,21 @@
+package experiment
+
+import (
+	"perfiso/internal/kernel"
+	"perfiso/internal/sim"
+)
+
+// Meter records how much raw simulation work a runner performed. Result
+// types embed it so the benchmark harness can report throughput
+// (events/sec) per experiment without reaching into kernels.
+type Meter struct {
+	// Events is the number of simulation events dispatched, summed over
+	// every engine the runner booted.
+	Events uint64
+}
+
+// count folds a finished kernel's engine dispatch total into the meter.
+func (m *Meter) count(k *kernel.Kernel) { m.Events += k.Engine().Dispatched() }
+
+// countEngine folds a bare engine's dispatch total into the meter.
+func (m *Meter) countEngine(e *sim.Engine) { m.Events += e.Dispatched() }

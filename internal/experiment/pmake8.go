@@ -22,6 +22,7 @@ type Pmake8Run struct {
 // Pmake8Result carries Figures 2 and 3: per scheme, the balanced and
 // unbalanced runs.
 type Pmake8Result struct {
+	Meter
 	Balanced   map[core.Scheme]Pmake8Run
 	Unbalanced map[core.Scheme]Pmake8Run
 	// BaseSMP is the normalization base: SMP mean response in the
@@ -46,8 +47,8 @@ func RunPmake8(opts Pmake8Options) Pmake8Result {
 		Unbalanced: make(map[core.Scheme]Pmake8Run),
 	}
 	for _, scheme := range Schemes {
-		res.Balanced[scheme] = runPmake8Config(scheme, false, opts)
-		res.Unbalanced[scheme] = runPmake8Config(scheme, true, opts)
+		res.Balanced[scheme] = runPmake8Config(scheme, false, opts, &res.Meter)
+		res.Unbalanced[scheme] = runPmake8Config(scheme, true, opts, &res.Meter)
 	}
 	res.BaseSMP = res.Balanced[core.SMP].Light
 	return res
@@ -56,7 +57,7 @@ func RunPmake8(opts Pmake8Options) Pmake8Result {
 // runPmake8Config boots one kernel and runs one job distribution.
 // Balanced: one pmake job per SPU (8 jobs). Unbalanced: SPUs 5-8 run two
 // jobs each (12 jobs).
-func runPmake8Config(scheme core.Scheme, unbalanced bool, opts Pmake8Options) Pmake8Run {
+func runPmake8Config(scheme core.Scheme, unbalanced bool, opts Pmake8Options, m *Meter) Pmake8Run {
 	k := kernel.New(machine.Pmake8(), scheme, opts.Kernel)
 	var spus []*core.SPU
 	for i := 0; i < 8; i++ {
@@ -82,6 +83,7 @@ func runPmake8Config(scheme core.Scheme, unbalanced bool, opts Pmake8Options) Pm
 		}
 	}
 	k.Run()
+	m.count(k)
 	collect := func(jobs []*proc.Process) sim.Time {
 		times := make([]sim.Time, len(jobs))
 		for i, j := range jobs {

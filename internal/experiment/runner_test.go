@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Registry() {
+		names := append([]string{s.ID}, s.Aliases...)
+		for _, n := range names {
+			if seen[n] {
+				t.Fatalf("duplicate experiment id/alias %q", n)
+			}
+			seen[n] = true
+			got, ok := Lookup(n)
+			if !ok {
+				t.Fatalf("Lookup(%q) missed", n)
+			}
+			if got.ID != s.ID {
+				t.Fatalf("Lookup(%q) resolved to %q, want %q", n, got.ID, s.ID)
+			}
+		}
+		if s.Run == nil {
+			t.Fatalf("spec %q has no runner", s.ID)
+		}
+		if s.Title == "" {
+			t.Fatalf("spec %q has no title", s.ID)
+		}
+	}
+	// The seed pisobench -only vocabulary must keep resolving.
+	for _, id := range []string{"fig2", "fig3", "fig5", "fig7", "tab3", "tab4"} {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("legacy id %q no longer resolves", id)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Fatal("Lookup accepted an unknown id")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	all := Registry()
+	if got := Filter(all, "", false); len(got) != len(all) {
+		t.Fatalf("unfiltered: %d specs, want %d", len(got), len(all))
+	}
+	short := Filter(all, "", true)
+	for _, s := range short {
+		if s.Ablation {
+			t.Fatalf("-short kept ablation %q", s.ID)
+		}
+	}
+	if len(short) != 5 {
+		t.Fatalf("-short kept %d specs, want the 5 headline experiments", len(short))
+	}
+	only := Filter(all, "fig3", false)
+	if len(only) != 1 || only[0].ID != "pmake8" {
+		t.Fatalf("Filter(only=fig3) = %+v, want the pmake8 spec via alias", only)
+	}
+	if got := Filter(all, "nope", true); len(got) != 0 {
+		t.Fatalf("unknown id matched %d specs", len(got))
+	}
+}
+
+// The harness guarantee: running experiments across parallel workers
+// produces exactly the tables a sequential run produces, because every
+// spec builds its own engines. Uses the two cheapest specs to bound
+// test runtime.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	specs := []Spec{}
+	for _, id := range []string{"tab4", "abl-network"} {
+		s, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing spec %q", id)
+		}
+		specs = append(specs, s)
+	}
+	render := func(rs []Result) string {
+		var out string
+		for _, r := range rs {
+			for _, sec := range r.Output.Sections {
+				out += sec.Table.String() + "\n"
+			}
+		}
+		return out
+	}
+	seq := RunAll(specs, 1)
+	par := RunAll(specs, 4)
+	if render(seq) != render(par) {
+		t.Fatalf("parallel run diverged from sequential:\n--- seq ---\n%s--- par ---\n%s",
+			render(seq), render(par))
+	}
+	for i, r := range par {
+		if r.Spec.ID != specs[i].ID {
+			t.Fatalf("result %d is %q, want registry order %q", i, r.Spec.ID, specs[i].ID)
+		}
+		if r.Output.Events == 0 {
+			t.Fatalf("spec %q dispatched zero events", r.Spec.ID)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("spec %q has non-positive wall time", r.Spec.ID)
+		}
+	}
+}
+
+func TestBenchReport(t *testing.T) {
+	s, _ := Lookup("abl-network")
+	results := RunAll([]Spec{s}, 1)
+	b := BenchReport(results, 3, true, results[0].Wall)
+	if b.Suite != "pisobench" || b.Parallel != 3 || !b.Short {
+		t.Fatalf("report metadata wrong: %+v", b)
+	}
+	if len(b.Experiments) != 1 {
+		t.Fatalf("got %d experiments, want 1", len(b.Experiments))
+	}
+	e := b.Experiments[0]
+	if e.ID != "abl-network" || e.Events == 0 || e.EventsPerSec <= 0 {
+		t.Fatalf("experiment entry wrong: %+v", e)
+	}
+	if len(e.Rows) == 0 {
+		t.Fatal("no headline rows extracted")
+	}
+	if b.Events != e.Events {
+		t.Fatalf("suite events %d != sum %d", b.Events, e.Events)
+	}
+}

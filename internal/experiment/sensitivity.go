@@ -18,6 +18,7 @@ import (
 // not an artifact of that point — the victim's normalized response stays
 // flat under PIso at every load level while SMP's grows with load.
 type SensitivityResult struct {
+	Meter
 	Loads []int // background jobs per heavy SPU
 	// Victim[scheme] is the series of SPU 1's normalized response
 	// (load=1 for that scheme = 100).
@@ -35,7 +36,7 @@ func RunSensitivity(loads []int) SensitivityResult {
 		series := &stats.Series{Name: scheme.String()}
 		var base sim.Time
 		for _, load := range loads {
-			v := runSensitivityPoint(scheme, load)
+			v := runSensitivityPoint(scheme, load, &res.Meter)
 			if base == 0 {
 				base = v
 			}
@@ -48,7 +49,7 @@ func RunSensitivity(loads []int) SensitivityResult {
 
 // runSensitivityPoint runs the victim job against load background jobs
 // in each of SPUs 5-8 and returns the victim's response time.
-func runSensitivityPoint(scheme core.Scheme, load int) sim.Time {
+func runSensitivityPoint(scheme core.Scheme, load int, m *Meter) sim.Time {
 	k := kernel.New(machine.Pmake8(), scheme, kernel.Options{})
 	var spus []*core.SPU
 	for i := 0; i < 8; i++ {
@@ -73,6 +74,7 @@ func runSensitivityPoint(scheme core.Scheme, load int) sim.Time {
 		}
 	}
 	k.Run()
+	m.count(k)
 	return victim.ResponseTime()
 }
 

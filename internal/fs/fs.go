@@ -146,7 +146,7 @@ func (fs *FileSystem) lookup(spu core.SPUID, f *File, idx int64) *CachePage {
 func (fs *FileSystem) Lookup(spu core.SPUID, done func()) {
 	fs.Stat.Lookups++
 	fs.RootInode.Acquire(true, fs.LookupHold, func() {
-		fs.eng.After(fs.LookupHold, "fs.lookup", done)
+		fs.eng.CallAfter(fs.LookupHold, "fs.lookup", done)
 	})
 }
 

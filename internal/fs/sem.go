@@ -99,7 +99,7 @@ func (s *Semaphore) grant(w semWaiter) {
 		s.writer = true
 	}
 	w.fn()
-	s.eng.After(w.hold, "sem.release", func() { s.release(w.shared) })
+	s.eng.CallAfter(w.hold, "sem.release", func() { s.release(w.shared) })
 }
 
 // release exits one holder and admits queued waiters FIFO (readers may

@@ -108,7 +108,7 @@ type Sleep struct {
 }
 
 func (s Sleep) run(p *Process) {
-	p.env.Engine().After(s.D, "proc.sleep", p.next)
+	p.env.Engine().CallAfter(s.D, "proc.sleep", p.next)
 }
 
 // Barrier synchronizes a gang of processes: each arrival blocks until

@@ -23,11 +23,15 @@ const (
 
 // CPU is one processor.
 type cpu struct {
-	idx      int
-	home     core.SPUID // home SPU; rotor may re-home fractional CPUs
-	fixed    bool       // integral assignment (not rotated)
-	cur      *Thread
-	sliceEv  *sim.Event
+	idx   int
+	home  core.SPUID // home SPU; rotor may re-home fractional CPUs
+	fixed bool       // integral assignment (not rotated)
+	cur   *Thread
+	// sliceSeq stamps the pending slice-end event; bumping it (preempt,
+	// re-dispatch) turns any in-flight slice event into a no-op, which
+	// lets slice events use the engine's pooled fire-and-forget path
+	// instead of allocating a cancellable handle per dispatch.
+	sliceSeq uint64
 	started  sim.Time // when cur was dispatched
 	loan     bool     // cur belongs to a foreign SPU
 	busyness stats.TimeWeighted
@@ -451,7 +455,13 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 	if t.Remaining < run {
 		run = t.Remaining
 	}
-	c.sliceEv = s.eng.After(run, "sched.slice", func() { s.sliceEnd(c) })
+	c.sliceSeq++
+	seq := c.sliceSeq
+	s.eng.CallAfter(run, "sched.slice", func() {
+		if seq == c.sliceSeq {
+			s.sliceEnd(c)
+		}
+	})
 }
 
 // sliceEnd handles slice expiry or burst completion on a CPU.
@@ -464,7 +474,7 @@ func (s *Scheduler) sliceEnd(c *cpu) {
 	t.running = false
 	t.cpu = -1
 	c.cur = nil
-	c.sliceEv = nil
+	c.sliceSeq++ // no slice event is armed for this CPU any more
 	if t.Remaining <= 0 {
 		// Burst complete: the thread blocks (or re-arms itself from the
 		// callback). Refill the CPU first so the callback sees current
@@ -490,10 +500,7 @@ func (s *Scheduler) preempt(c *cpu) {
 	if t == nil {
 		return
 	}
-	if c.sliceEv != nil {
-		c.sliceEv.Cancel()
-		c.sliceEv = nil
-	}
+	c.sliceSeq++ // invalidate the in-flight slice-end event
 	s.accountRun(c)
 	t.running = false
 	t.cpu = -1

@@ -48,3 +48,16 @@ func BenchmarkRNG(b *testing.B) {
 		_ = r.Uint64()
 	}
 }
+
+// BenchmarkCallAndFire measures the pooled fire-and-forget path: the
+// free list should make this allocation-free at steady state.
+func BenchmarkCallAndFire(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CallAfter(Microsecond, "bench", fn)
+		e.Step()
+	}
+}

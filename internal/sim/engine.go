@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -14,6 +13,7 @@ type Event struct {
 	name      string
 	index     int // heap index, -1 when not queued
 	cancelled bool
+	pooled    bool // fire-and-forget event; recycled after it fires
 }
 
 // At returns the instant the event is scheduled to fire.
@@ -33,42 +33,16 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // Pending reports whether the event is still queued and will fire.
 func (ev *Event) Pending() bool { return ev.index >= 0 && !ev.cancelled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is the discrete-event simulation core: a virtual clock and a
 // priority queue of events. It is not safe for concurrent use; the whole
-// simulated machine runs on one OS thread by design.
+// simulated machine runs on one OS thread by design. Independent engines
+// are fully isolated, so separate simulations may run on separate
+// goroutines concurrently.
 type Engine struct {
 	now        Time
 	seq        uint64
-	queue      eventHeap
+	queue      []*Event // binary min-heap ordered by (at, seq)
+	free       []*Event // recycled pool for fire-and-forget events
 	dispatched uint64
 	running    bool
 	stop       bool
@@ -87,20 +61,105 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Dispatched returns the total number of events that have fired.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error in the machine model and panics loudly rather than
+// eventLess orders events by time, breaking ties by scheduling order so
+// same-time events fire FIFO.
+func eventLess(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push inserts ev into the heap, sifting it up to its position. The heap
+// is hand-rolled rather than container/heap so comparisons and moves stay
+// concrete (*Event) instead of boxing through an interface on every
+// scheduler tick, disk request, and page fault.
+func (e *Engine) push(ev *Event) {
+	i := len(e.queue)
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down by comparing sibling children at each level.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	n := len(q) - 1
+	top := q[0]
+	top.index = -1
+	ev := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n == 0 {
+		return top
+	}
+	q = e.queue
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := q[l]
+		if r := l + 1; r < n && eventLess(q[r], c) {
+			l, c = r, q[r]
+		}
+		if !eventLess(c, ev) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = l
+	}
+	q[i] = ev
+	ev.index = i
+	return top
+}
+
+// alloc builds an event, drawing from the recycle pool when possible, and
+// queues it.
+func (e *Engine) alloc(t Time, name string, fn func(), pooled bool) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn, name: name, index: -1, pooled: pooled}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, name: name, index: -1, pooled: pooled}
+	}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// checkSchedule validates scheduling arguments. Scheduling in the past is
+// a programming error in the machine model and panics loudly rather than
 // silently corrupting causality.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+func (e *Engine) checkSchedule(t Time, name string, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %s, before now (%s)", name, t, e.now))
 	}
 	if fn == nil {
 		panic(fmt.Sprintf("sim: event %q has nil callback", name))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, name: name, index: -1}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+}
+
+// At schedules fn to run at absolute time t and returns a cancellable
+// handle. Handles are never recycled: callers may retain them after the
+// event fires. High-rate fire-and-forget callers should prefer Call,
+// which pools its allocations.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	e.checkSchedule(t, name, fn)
+	return e.alloc(t, name, fn, false)
 }
 
 // After schedules fn to run d after the current time. Negative delays are
@@ -111,6 +170,26 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 		d = 0
 	}
 	return e.At(e.now+d, name, fn)
+}
+
+// Call schedules fn at absolute time t like At, but returns no handle:
+// the event cannot be cancelled, which lets the engine recycle its
+// allocation the moment it fires. The simulation hot path — disk
+// completions, semaphore releases, process sleeps, scheduler slices —
+// goes through here so steady-state event traffic allocates nothing.
+func (e *Engine) Call(t Time, name string, fn func()) {
+	e.checkSchedule(t, name, fn)
+	e.alloc(t, name, fn, true)
+}
+
+// CallAfter schedules fn to run d after the current time, with Call's
+// pooled fire-and-forget semantics. Negative delays clamp to "now" like
+// After.
+func (e *Engine) CallAfter(d Time, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Call(e.now+d, name, fn)
 }
 
 // Ticker fires a callback at a fixed period until cancelled. The callback
@@ -157,8 +236,11 @@ func (t *Ticker) Stop() {
 // queue is empty (after discarding cancelled events).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.cancelled {
+			if ev.pooled {
+				e.recycle(ev)
+			}
 			continue
 		}
 		if ev.at < e.now {
@@ -166,10 +248,22 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.dispatched++
-		ev.fn()
+		fn := ev.fn
+		if ev.pooled {
+			// Recycle before firing so an event scheduled from inside fn
+			// reuses the hot allocation.
+			e.recycle(ev)
+		}
+		fn()
 		return true
 	}
 	return false
+}
+
+// recycle returns a pooled event to the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Run fires events until the queue drains or Stop is called, and returns
@@ -183,8 +277,10 @@ func (e *Engine) Run() uint64 {
 	return e.dispatched - start
 }
 
-// RunUntil fires events with timestamps <= deadline, then sets the clock to
-// the deadline (if it got that far). Events after the deadline stay queued.
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to the deadline. Events after the deadline stay queued. If Stop ends
+// the run early the clock stays where the last event left it — simulated
+// time the run never reached must not silently elapse.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.dispatched
 	e.running, e.stop = true, false
@@ -192,14 +288,16 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		// Peek past cancelled events without firing anything late.
 		next := e.peek()
 		if next == nil || next.at > deadline {
+			// Drained up to the deadline: the remaining gap really was
+			// idle, so the clock advances over it.
+			if e.now < deadline {
+				e.now = deadline
+			}
 			break
 		}
 		e.Step()
 	}
 	e.running = false
-	if e.now < deadline {
-		e.now = deadline
-	}
 	return e.dispatched - start
 }
 
@@ -215,7 +313,10 @@ func (e *Engine) peek() *Event {
 		if !ev.cancelled {
 			return ev
 		}
-		heap.Pop(&e.queue)
+		ev = e.pop()
+		if ev.pooled {
+			e.recycle(ev)
+		}
 	}
 	return nil
 }

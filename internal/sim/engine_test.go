@@ -293,3 +293,95 @@ func TestPropertyNestedSchedulingMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: Stop() during RunUntil must halt the clock at the stop
+// point, not teleport it to the deadline. The seed engine advanced
+// e.now to the deadline unconditionally, so a kernel that stopped at
+// t=10 reported makespans inflated to whatever deadline the caller
+// passed.
+func TestRunUntilStoppedEarlyDoesNotAdvanceToDeadline(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "stopper", func() { e.Stop() })
+	e.At(20, "later", func() {})
+	n := e.RunUntil(1000)
+	if n != 1 {
+		t.Fatalf("dispatched %d, want 1 (stop after first event)", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v after Stop at 10, want 10 (not deadline 1000)", e.Now())
+	}
+	// Resuming still drains up to the deadline and then advances.
+	n = e.RunUntil(1000)
+	if n != 1 {
+		t.Fatalf("resume dispatched %d, want 1", n)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %v after drain, want deadline 1000", e.Now())
+	}
+}
+
+func TestCallAfterFiresInOrderWithHandles(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(20, "handle", func() { order = append(order, "handle") })
+	e.CallAfter(10, "pooled", func() { order = append(order, "pooled") })
+	e.Call(5, "at", func() { order = append(order, "at") })
+	e.Run()
+	want := []string{"at", "pooled", "handle"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Pooled events may be recycled the moment they fire; scheduling from
+// inside a pooled callback must not corrupt the event being dispatched.
+func TestCallAfterRescheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.CallAfter(Millisecond, "tick", tick)
+		}
+	}
+	e.CallAfter(Millisecond, "tick", tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("pooled chain fired %d times, want 100", count)
+	}
+	if e.Now() != 100*Millisecond {
+		t.Fatalf("Now() = %v, want 100ms", e.Now())
+	}
+}
+
+// The free list must actually recycle: a long chain of pooled events
+// should keep the engine's backing storage flat.
+func TestPooledEventsAreRecycled(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.CallAfter(Microsecond, "n", func() {})
+		e.Step()
+	}
+	if got := len(e.free); got != 1 {
+		t.Fatalf("free list holds %d events after steady-state chain, want 1", got)
+	}
+}
+
+// Handles returned by At/After must never be recycled — a caller may
+// retain one and Cancel it long after it fired; that must stay a no-op
+// on an inert event rather than corrupting a recycled one.
+func TestStaleHandleCancelIsInert(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, "old", func() {})
+	e.Run()
+	fired := false
+	e.CallAfter(Microsecond, "live", func() { fired = true })
+	stale.Cancel() // must not touch the pooled live event
+	e.Run()
+	if !fired {
+		t.Fatal("Cancel on a stale fired handle killed an unrelated pooled event")
+	}
+}

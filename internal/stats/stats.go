@@ -108,13 +108,17 @@ func (w *TimeWeighted) Set(now sim.Time, v float64) {
 		}
 		w.area += w.value * dt.Seconds()
 		w.duration += dt
+		if v > w.maxV {
+			w.maxV = v
+		}
+	} else {
+		// First observation seeds the maximum; starting from the zero
+		// value would report 0 for all-negative trackers.
+		w.maxV = v
 	}
 	w.started = true
 	w.last = now
 	w.value = v
-	if v > w.maxV {
-		w.maxV = v
-	}
 }
 
 // Add adjusts the tracked value by delta at time now.
@@ -126,14 +130,25 @@ func (w *TimeWeighted) Value() float64 { return w.value }
 // Max returns the maximum value ever set.
 func (w *TimeWeighted) Max() float64 { return w.maxV }
 
-// Average closes the window at time now and returns the time-weighted
-// average since the first Set. It returns 0 if no time has elapsed.
+// Average returns the time-weighted average over [first Set, now],
+// counting the still-open final segment at the current value. It is a
+// pure read — the tracker is not mutated, so calling it repeatedly (or
+// at different times) never folds extra area into the window. It
+// returns 0 if no time has elapsed.
 func (w *TimeWeighted) Average(now sim.Time) float64 {
-	w.Set(now, w.value) // fold in the final segment
-	if w.duration == 0 {
+	area, duration := w.area, w.duration
+	if w.started {
+		dt := now - w.last
+		if dt < 0 {
+			panic("stats: TimeWeighted.Average asked for a time before the last Set")
+		}
+		area += w.value * dt.Seconds()
+		duration += dt
+	}
+	if duration == 0 {
 		return 0
 	}
-	return w.area / w.duration.Seconds()
+	return area / duration.Seconds()
 }
 
 // Histogram is a fixed-width bucket histogram with overflow and underflow
@@ -228,14 +243,25 @@ func (s *Series) Sorted() []Point {
 	return out
 }
 
-// YAt returns the Y value for the given X, or ok=false if absent.
+// YAt returns the Y value for the point whose X matches x, or ok=false
+// if absent. Matching tolerates float rounding (a relative epsilon), so
+// sweep points computed through division — e.g. thresholds built as
+// limit/N — still resolve. With several points inside the tolerance the
+// closest wins.
 func (s *Series) YAt(x float64) (y float64, ok bool) {
+	const eps = 1e-9
+	best := math.Inf(1)
 	for _, p := range s.Points {
-		if p.X == x {
-			return p.Y, true
+		d := math.Abs(p.X - x)
+		scale := math.Max(1, math.Max(math.Abs(p.X), math.Abs(x)))
+		if d <= eps*scale && d < best {
+			best, y, ok = d, p.Y, true
 		}
 	}
-	return 0, false
+	if !ok {
+		return 0, false
+	}
+	return y, true
 }
 
 // Ratio is a convenience for "normalized to baseline" reporting: it

@@ -225,3 +225,64 @@ func TestFormatSeconds(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Average used to fold the open segment into the tracker
+// as a side effect (it called Set), advancing w.last to the query
+// time. Peeking at the average ahead of the sample stream then made
+// the next legitimate Set panic with "time going backwards".
+func TestTimeWeightedAverageIsSideEffectFree(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)
+	// Peek at the running average at t=2s...
+	if got := w.Average(2 * sim.Second); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Average(2s) = %g, want 1", got)
+	}
+	// ...then a real observation arrives at t=1s. The query must not
+	// have moved the tracker's clock.
+	w.Set(sim.Second, 3)
+	first := w.Average(2 * sim.Second) // 1 for 1s, 3 for 1s
+	second := w.Average(2 * sim.Second)
+	if first != second {
+		t.Fatalf("repeated Average diverged: %g then %g", first, second)
+	}
+	if math.Abs(first-2.0) > 1e-9 {
+		t.Fatalf("Average(2s) = %g, want 2", first)
+	}
+	// A later query sees the open segment grow linearly.
+	if got := w.Average(3 * sim.Second); math.Abs(got-7.0/3.0) > 1e-9 {
+		t.Fatalf("Average(3s) = %g, want %g", got, 7.0/3.0)
+	}
+}
+
+// Regression: Max seeded its running maximum with the zero value, so an
+// all-negative tracker reported 0 — a value it never held.
+func TestTimeWeightedMaxAllNegative(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, -5)
+	w.Set(sim.Second, -2)
+	w.Set(2*sim.Second, -9)
+	if got := w.Max(); got != -2 {
+		t.Fatalf("Max = %g, want -2 (zero was never observed)", got)
+	}
+}
+
+// Regression: YAt used exact float64 equality, so x values that went
+// through any arithmetic (load levels computed as float sums, sweep
+// points built by repeated addition) missed their own entries.
+func TestSeriesYAtEpsilon(t *testing.T) {
+	var s Series
+	x := 0.0
+	for i := 0; i < 10; i++ {
+		x += 0.1 // 0.1+0.1+... != 0.3 exactly in float64
+		s.Add(x, float64(i))
+	}
+	if y, ok := s.YAt(0.3); !ok || y != 2 {
+		t.Fatalf("YAt(0.3) = %g,%v; want 2,true (epsilon match)", y, ok)
+	}
+	if y, ok := s.YAt(1.0); !ok || y != 9 {
+		t.Fatalf("YAt(1.0) = %g,%v; want 9,true", y, ok)
+	}
+	if _, ok := s.YAt(0.35); ok {
+		t.Fatal("YAt(0.35) matched; epsilon too loose")
+	}
+}

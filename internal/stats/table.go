@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -51,6 +52,75 @@ func (t *Table) NumRows() int { return len(t.rows) }
 
 // Cell returns the contents of row r, column c.
 func (t *Table) Cell(r, c int) string { return t.rows[r][c] }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Row is one machine-readable headline quantity extracted from a
+// rendered table: the row's label, the column it came from, and the
+// numeric value. It is the unit the benchmark harness serializes for
+// regression tracking.
+type Row struct {
+	Table  string  `json:"table,omitempty"`
+	Label  string  `json:"label"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// NumericRows flattens every numeric cell of the table into Rows. The
+// non-numeric cells of each row (scheme, policy, configuration names)
+// join to form the label; each numeric cell becomes one Row keyed by its
+// column header. Cells with a trailing %% or x unit parse as their
+// numeric part.
+func (t *Table) NumericRows() []Row {
+	title := t.Title
+	if i := strings.IndexByte(title, '\n'); i >= 0 {
+		title = title[:i]
+	}
+	var out []Row
+	for _, row := range t.rows {
+		var labels []string
+		var vals []Row
+		for c, cell := range row {
+			if v, ok := parseNumeric(cell); ok {
+				metric := ""
+				if c < len(t.headers) {
+					metric = t.headers[c]
+				}
+				vals = append(vals, Row{Table: title, Metric: metric, Value: v})
+			} else if cell != "" {
+				labels = append(labels, cell)
+			}
+		}
+		label := strings.Join(labels, " ")
+		for i := range vals {
+			vals[i].Label = label
+		}
+		out = append(out, vals...)
+	}
+	return out
+}
+
+// parseNumeric parses a table cell as a float, accepting a trailing unit
+// suffix ("%", "x", "s", "ms") the formatters append.
+func parseNumeric(cell string) (float64, bool) {
+	s := strings.TrimSpace(cell)
+	for _, suffix := range []string{"ms", "%", "x", "s"} {
+		if strings.HasSuffix(s, suffix) && len(s) > len(suffix) {
+			s = strings.TrimSuffix(s, suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
 
 // Bars renders labelled values as a horizontal ASCII bar chart, scaled
 // to the largest value — the terminal stand-in for the paper's bar

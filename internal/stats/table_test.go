@@ -110,3 +110,37 @@ func TestTableColumnsAligned(t *testing.T) {
 		t.Fatalf("columns misaligned:\n%s", out)
 	}
 }
+
+func TestNumericRows(t *testing.T) {
+	tb := NewTable("Figure X: demo\nsecond title line", "Scheme", "Mode", "Norm", "Resp")
+	tb.Addf("SMP", "balanced", 100.0, "1.50s")
+	tb.Addf("PIso", "unbalanced", 93.5, "12%")
+	rows := tb.NumericRows()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	r := rows[0]
+	if r.Table != "Figure X: demo" {
+		t.Fatalf("Table = %q, want first title line", r.Table)
+	}
+	if r.Label != "SMP balanced" {
+		t.Fatalf("Label = %q, want non-numeric cells joined", r.Label)
+	}
+	if r.Metric != "Norm" || r.Value != 100 {
+		t.Fatalf("row 0 = %+v", r)
+	}
+	if rows[1].Metric != "Resp" || rows[1].Value != 1.5 {
+		t.Fatalf("suffixed cell: %+v", rows[1])
+	}
+	if rows[3].Metric != "Resp" || rows[3].Value != 12 || rows[3].Label != "PIso unbalanced" {
+		t.Fatalf("percent cell: %+v", rows[3])
+	}
+}
+
+func TestNumericRowsSkipsNonNumericTables(t *testing.T) {
+	tb := NewTable("notes", "K", "V")
+	tb.AddRow("a", "n/a")
+	if rows := tb.NumericRows(); len(rows) != 0 {
+		t.Fatalf("got %d rows from non-numeric table, want 0", len(rows))
+	}
+}

@@ -1,0 +1,124 @@
+package perfiso
+
+import "fmt"
+
+// WorkloadSpec is one canonical single-run scenario — the Table 1
+// machine/workload combinations — registered by name so cmd/pisosim's
+// -workload lookup, tests, and library users resolve them through one
+// place instead of hand-rolled switches.
+type WorkloadSpec struct {
+	// Name is the -workload identifier.
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Unbalanced reports whether the unbalanced flag changes this
+	// workload's job distribution.
+	Unbalanced bool
+	// Build boots a System with the workload's SPUs and jobs attached.
+	// The caller runs it (sys.Run()) and reads sys.Jobs().
+	Build func(scheme Scheme, opts Options, unbalanced bool) *System
+}
+
+// Workloads returns the registry of canonical workloads in presentation
+// order.
+func Workloads() []WorkloadSpec {
+	return []WorkloadSpec{
+		{
+			Name: "pmake8", Desc: "8 CPUs, 8 SPUs, pmake jobs (Figures 2-3)", Unbalanced: true,
+			Build: buildPmake8Workload,
+		},
+		{
+			Name: "cpu", Desc: "Ocean vs 3x Flashlite + 3x VCS (Figure 5)",
+			Build: buildCPUWorkload,
+		},
+		{
+			Name: "mem", Desc: "pmake jobs under memory pressure (Figure 7)", Unbalanced: true,
+			Build: buildMemWorkload,
+		},
+		{
+			Name: "disk", Desc: "pmake vs 20 MB copy on one shared disk (Table 3)",
+			Build: buildDiskWorkload,
+		},
+	}
+}
+
+// WorkloadNames returns every registered workload name in order.
+func WorkloadNames() []string {
+	specs := Workloads()
+	out := make([]string, len(specs))
+	for i, w := range specs {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// LookupWorkload resolves a workload name against the registry.
+func LookupWorkload(name string) (WorkloadSpec, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return WorkloadSpec{}, false
+}
+
+func buildPmake8Workload(scheme Scheme, opts Options, unbalanced bool) *System {
+	sys := New(Pmake8Machine(), scheme, opts)
+	var spus []*SPU
+	for i := 0; i < 8; i++ {
+		s := sys.NewSPU(fmt.Sprintf("user%d", i+1), 1)
+		sys.SetAffinity(s.ID(), i)
+		spus = append(spus, s)
+	}
+	sys.Boot()
+	for i, s := range spus {
+		jobs := 1
+		if unbalanced && i >= 4 {
+			jobs = 2
+		}
+		for j := 0; j < jobs; j++ {
+			sys.Pmake(s, fmt.Sprintf("pmake%d.%d", i+1, j), DefaultPmake())
+		}
+	}
+	return sys
+}
+
+func buildCPUWorkload(scheme Scheme, opts Options, _ bool) *System {
+	sys := New(CPUIsolationMachine(), scheme, opts)
+	s1 := sys.NewSPU("ocean", 1)
+	s2 := sys.NewSPU("eda", 1)
+	sys.Boot()
+	sys.Ocean(s1, "ocean", DefaultOcean())
+	for i := 0; i < 3; i++ {
+		sys.ComputeBound(s2, fmt.Sprintf("flashlite%d", i), DefaultFlashlite())
+		sys.ComputeBound(s2, fmt.Sprintf("vcs%d", i), DefaultVCS())
+	}
+	return sys
+}
+
+func buildMemWorkload(scheme Scheme, opts Options, unbalanced bool) *System {
+	sys := New(MemIsolationMachine(), scheme, opts)
+	s1 := sys.NewSPU("spu1", 1)
+	s2 := sys.NewSPU("spu2", 1)
+	sys.SetAffinity(s1.ID(), 0)
+	sys.SetAffinity(s2.ID(), 1)
+	sys.Boot()
+	sys.Pmake(s1, "job1", MemPmake())
+	sys.Pmake(s2, "job2a", MemPmake())
+	if unbalanced {
+		sys.Pmake(s2, "job2b", MemPmake())
+	}
+	return sys
+}
+
+func buildDiskWorkload(scheme Scheme, opts Options, _ bool) *System {
+	sys := New(DiskIsolationMachine(), scheme, opts)
+	s1 := sys.NewSPU("pmake", 1)
+	s2 := sys.NewSPU("copy", 1)
+	sys.SetAffinity(s1.ID(), 0)
+	sys.SetAffinity(s2.ID(), 0)
+	sys.Boot()
+	sys.Pmake(s1, "pmake", DiskPmake())
+	sys.Copy(s2, "copy", DefaultCopy(20*1024*1024))
+	return sys
+}
