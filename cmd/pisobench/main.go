@@ -96,7 +96,9 @@ func run(cfg config, stdout, stderr io.Writer) int {
 		for _, sec := range r.Output.Sections {
 			// A multi-section spec matched via an alias prints only the
 			// section that alias names (-only fig3 skips fig2's table).
-			if cfg.only != "" && cfg.only != r.Spec.ID && cfg.only != sec.ID {
+			// Single-section specs print their one table under any alias.
+			if cfg.only != "" && len(r.Output.Sections) > 1 &&
+				cfg.only != r.Spec.ID && cfg.only != sec.ID {
 				continue
 			}
 			show(sec.Table)

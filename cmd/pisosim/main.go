@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pisosim -workload pmake8|cpu|mem|disk -scheme SMP|Quo|PIso [-disksched Pos|Iso|PIso]
+//	pisosim -faults disk-fail:0:1s:2s:0.3,cpu-off:1:500ms:0s   # inject deterministic faults
 //	pisosim -spec scenario.json          # declarative scenario, JSON result
 package main
 
@@ -35,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	unbalanced := fs.Bool("unbalanced", false, "use the unbalanced job distribution (pmake8, mem)")
 	traceN := fs.Int("trace", 0, "dump the last N resource-management decisions")
 	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
+	faultSpec := fs.String("faults", "", "inject deterministic faults: kind:target:at:duration[:severity],...\n(kinds: disk-slow, disk-fail, cpu-slow, cpu-off, mem-loss; duration 0s = permanent)")
 	specPath := fs.String("spec", "", "run a declarative JSON scenario and print a JSON result")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timeline {
 		opts.TimelinePeriod = 100 * perfiso.Millisecond
 	}
+	if *faultSpec != "" {
+		plan, err := perfiso.ParseFaults(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		opts.Faults = plan
+	}
 
 	sys := w.Build(scheme, opts, *unbalanced)
 	sys.Run()
@@ -107,6 +117,16 @@ func report(sys *perfiso.System, w io.Writer) {
 	fmt.Fprintf(w, "\nmakespan %.2fs  cpu-util %.0f%%  disk-reqs %d  reclaims %d  dirty-writes %d\n",
 		rep.Makespan.Seconds(), 100*rep.CPUUtilization, rep.DiskRequests,
 		rep.PageReclaims, rep.DirtyWrites)
+	if in := sys.Kernel().Injector(); in != nil {
+		k := sys.Kernel()
+		var failures int64
+		for i := 0; i < k.NumDisks(); i++ {
+			failures += k.Disk(i).Total.Failures
+		}
+		fmt.Fprintf(w, "faults: injected %d, healed %d; disk failures %d, fs retries %d, pageout retries %d\n",
+			in.Stat.Injected, in.Stat.Reverted, failures,
+			k.FS().Stat.Retries, k.Memory().Stat.PageoutRetries)
+	}
 	if tl := sys.Kernel().Timeline(); tl != nil {
 		fmt.Fprintf(w, "\nper-SPU usage over time (CPUs / MB):\n%s", tl.Render(64))
 	}

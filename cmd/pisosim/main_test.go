@@ -55,6 +55,33 @@ func TestRunBadFlagFails(t *testing.T) {
 	}
 }
 
+func TestRunBadFaultSpecFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-faults", "disk-slow:0:1s"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "fault:") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+// Smoke test: a faulted run completes and the report includes the
+// injector summary with the retries the degradation layers performed.
+func TestRunFaultedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "mem", "-scheme", "PIso",
+		"-faults", "disk-fail:0:200ms:2s:0.5,cpu-off:0:500ms:1s"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "faults: injected 2, healed 2") {
+		t.Fatalf("stdout missing fault summary:\n%s", out.String())
+	}
+}
+
 // Smoke test: dispatch the disk workload end to end through the
 // registry and check the report reaches stdout.
 func TestRunDiskWorkload(t *testing.T) {

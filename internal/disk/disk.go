@@ -21,6 +21,7 @@ type Stats struct {
 	Requests int64
 	Sectors  int64
 	Merges   int64 // requests coalesced into a queued neighbour
+	Failures int64 // transfers failed by an injected fault
 	Wait     stats.Sample
 	Service  stats.Sample
 	Seek     stats.Sample
@@ -43,6 +44,19 @@ type Disk struct {
 	busy    bool
 	headCyl int
 	lastEnd int64 // sector after the previous transfer (track-buffer hit)
+	// lastXferFinish is when the previous transfer left the media. The
+	// track-buffer sequential hit is only honoured within one rotation of
+	// this instant: the read-ahead data in the buffer is overwritten as
+	// the platter keeps spinning, so after an idle gap the head must wait
+	// for the sector like any other request.
+	lastXferFinish sim.Time
+
+	// Fault injection (internal/fault): slow inflates every service time
+	// by the given factor; failProb fails transfers with the given
+	// probability, drawn from failRNG so runs stay deterministic.
+	slow     float64
+	failProb float64
+	failRNG  *sim.RNG
 
 	// Merge enables request coalescing: a submitted request adjacent to
 	// a queued request of the same kind and SPU extends it instead of
@@ -87,6 +101,38 @@ func (d *Disk) Usage(id core.SPUID) float64 {
 	return d.usage.relative(d.eng.Now(), id)
 }
 
+// SetSlow degrades (or restores) the drive: every subsequent service
+// time is multiplied by factor. factor <= 1 restores nominal speed.
+func (d *Disk) SetSlow(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slow = factor
+}
+
+// Slow returns the current service-time inflation factor (1 = nominal).
+func (d *Disk) Slow() float64 {
+	if d.slow < 1 {
+		return 1
+	}
+	return d.slow
+}
+
+// SetFault makes each subsequent transfer fail with probability prob,
+// drawing from rng (fork a dedicated stream so the decisions do not
+// perturb other consumers). prob <= 0 clears the fault. Failed requests
+// consume service time and bandwidth but complete with Failed set.
+func (d *Disk) SetFault(prob float64, rng *sim.RNG) {
+	if prob <= 0 {
+		d.failProb, d.failRNG = 0, nil
+		return
+	}
+	d.failProb, d.failRNG = prob, rng
+}
+
+// FailProb returns the current transient-failure probability.
+func (d *Disk) FailProb() float64 { return d.failProb }
+
 // QueueLen returns the number of requests waiting (not in service).
 func (d *Disk) QueueLen() int { return len(d.queue) }
 
@@ -112,6 +158,7 @@ func (d *Disk) Submit(r *Request) {
 		panic(err)
 	}
 	r.Submitted = d.eng.Now()
+	r.Failed = false
 	if d.Merge && d.tryMerge(r) {
 		return
 	}
@@ -150,17 +197,32 @@ func (d *Disk) tryMerge(r *Request) bool {
 			continue
 		}
 		d.Total.Merges++
-		if done := r.Done; done != nil {
-			prev := q.Done
-			q.Done = func(qq *Request) {
-				if prev != nil {
-					prev(qq)
-				}
-				// The absorbed request completes with its host.
-				r.Started = qq.Started
-				r.Finished = qq.Finished
-				r.SeekTime = qq.SeekTime
-				r.RotTime = qq.RotTime
+		done := r.Done
+		prev := q.Done
+		q.Done = func(qq *Request) {
+			if prev != nil {
+				prev(qq)
+			}
+			// The absorbed request completes with its host. It was a
+			// real request with a real queueing delay and completion
+			// time, so it counts in the latency statistics like any
+			// other (its sectors are already counted via the host's
+			// grown Count). Failed hosts fail their passengers too.
+			r.Started = qq.Started
+			r.Finished = qq.Finished
+			r.SeekTime = qq.SeekTime
+			r.RotTime = qq.RotTime
+			r.Failed = qq.Failed
+			if !r.Failed {
+				d.Total.Requests++
+				d.Total.Wait.AddTime(r.Wait())
+				d.Total.Service.AddTime(r.Service())
+				s := d.spuStats(r.SPU)
+				s.Requests++
+				s.Wait.AddTime(r.Wait())
+				s.Service.AddTime(r.Service())
+			}
+			if done != nil {
 				done(r)
 			}
 		}
@@ -191,20 +253,32 @@ func (d *Disk) startNext() {
 	r.SeekTime = seek
 	settled := now + d.params.Overhead + seek
 	rot := d.params.RotationalDelay(settled, r.Sector)
-	if r.Sector == d.lastEnd {
+	if r.Sector == d.lastEnd && now-d.lastXferFinish <= d.params.RotationTime() {
 		// Exact sequential continuation: the drive's track buffer and
 		// read-ahead absorb the command-overhead gap, so streaming IO
-		// does not pay a near-full rotation per request.
+		// does not pay a near-full rotation per request. The buffered
+		// data only survives about one revolution past the previous
+		// transfer — after a longer idle gap the read-ahead has been
+		// overwritten and the request pays normal rotational delay.
 		rot = 0
 	}
 	r.RotTime = rot
 	xfer := d.params.TransferTime(r.Sector, r.Count)
 	total := d.params.Overhead + seek + rot + xfer
+	if d.slow > 1 {
+		// Degraded drive (fault injection): everything — positioning,
+		// media rate, controller — runs slower by the same factor.
+		total = sim.Time(float64(total) * d.slow)
+	}
+	if d.failProb > 0 && d.failRNG != nil && d.failRNG.Float64() < d.failProb {
+		r.Failed = true
+	}
 
 	d.eng.CallAfter(total, "disk.complete", func() { d.complete(r) })
 	// The head ends up over the last cylinder touched by the transfer.
 	d.headCyl = d.params.CylinderOf(r.Sector + int64(r.Count) - 1)
 	d.lastEnd = r.Sector + int64(r.Count)
+	d.lastXferFinish = now + total
 }
 
 // complete finishes a request: accounting, statistics, callback, and
@@ -223,19 +297,28 @@ func (d *Disk) complete(r *Request) {
 		d.usage.charge(now, r.SPU, r.Count)
 	}
 
-	d.Total.Requests++
-	d.Total.Sectors += int64(r.Count)
-	d.Total.Wait.AddTime(r.Wait())
-	d.Total.Service.AddTime(r.Service())
-	d.Total.Seek.AddTime(r.SeekTime)
-	d.Total.Pos.AddTime(r.Positioning())
-	s := d.spuStats(r.SPU)
-	s.Requests++
-	s.Sectors += int64(r.Count)
-	s.Wait.AddTime(r.Wait())
-	s.Service.AddTime(r.Service())
-	s.Seek.AddTime(r.SeekTime)
-	s.Pos.AddTime(r.Positioning())
+	if r.Failed {
+		// A failed transfer occupied the arm and consumed the SPU's
+		// bandwidth share (charged above) but moved no usable data; it
+		// is counted as a failure, not as a completed request, so the
+		// latency percentiles describe successful transfers only. The
+		// submitter sees Failed via Done and retries.
+		d.Total.Failures++
+	} else {
+		d.Total.Requests++
+		d.Total.Sectors += int64(r.Count)
+		d.Total.Wait.AddTime(r.Wait())
+		d.Total.Service.AddTime(r.Service())
+		d.Total.Seek.AddTime(r.SeekTime)
+		d.Total.Pos.AddTime(r.Positioning())
+		s := d.spuStats(r.SPU)
+		s.Requests++
+		s.Sectors += int64(r.Count)
+		s.Wait.AddTime(r.Wait())
+		s.Service.AddTime(r.Service())
+		s.Seek.AddTime(r.SeekTime)
+		s.Pos.AddTime(r.Positioning())
+	}
 
 	done := r.Done
 	d.startNext()

@@ -1,0 +1,84 @@
+package disk
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestSetSlowInflatesServiceTime(t *testing.T) {
+	service := func(slow float64) sim.Time {
+		eng, d := newTestDisk(NewPos())
+		d.SetSlow(slow)
+		var fin *Request
+		d.Submit(req(spuA, 1000, 16, func(r *Request) { fin = r }))
+		eng.Run()
+		return fin.Service()
+	}
+	nominal := service(1)
+	degraded := service(4)
+	if degraded != 4*nominal {
+		t.Fatalf("slow=4 service %v, want 4x nominal %v", degraded, nominal)
+	}
+	// SetSlow(0) and SetSlow(1) both mean nominal speed.
+	if got := service(0); got != nominal {
+		t.Fatalf("slow=0 service %v, want nominal %v", got, nominal)
+	}
+}
+
+func TestSetFaultFailsTransfersDeterministically(t *testing.T) {
+	run := func() (failed, completed int64) {
+		eng, d := newTestDisk(NewPos())
+		d.SetFault(0.5, sim.NewRNG(7).Fork())
+		for i := 0; i < 64; i++ {
+			d.Submit(req(spuA, int64(1000+i*100), 8, nil))
+		}
+		eng.Run()
+		return d.Total.Failures, d.Total.Requests
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if f1 == 0 || c1 == 0 {
+		t.Fatalf("fault injection at p=0.5 over 64 requests: %d failed, %d ok", f1, c1)
+	}
+	if f1+c1 != 64 {
+		t.Fatalf("failed %d + completed %d != 64 submitted", f1, c1)
+	}
+	if f1 != f2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", f1, c1, f2, c2)
+	}
+}
+
+func TestFailedRequestReportsFailedAndRetrySucceeds(t *testing.T) {
+	eng, d := newTestDisk(NewPos())
+	d.SetFault(1.0, sim.NewRNG(1).Fork()) // every transfer fails
+	var attempts int
+	var finalOK bool
+	var r *Request
+	r = req(spuA, 1000, 8, func(rr *Request) {
+		attempts++
+		if rr.Failed {
+			if attempts >= 3 {
+				d.SetFault(0, nil) // drive recovers
+			}
+			d.Submit(rr) // naive immediate retry
+			return
+		}
+		finalOK = true
+	})
+	d.Submit(r)
+	eng.Run()
+	if !finalOK {
+		t.Fatal("request never succeeded after fault cleared")
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 3 failures + 1 success", attempts)
+	}
+	if d.Total.Failures != 3 || d.Total.Requests != 1 {
+		t.Fatalf("failures=%d requests=%d, want 3/1", d.Total.Failures, d.Total.Requests)
+	}
+	// Failed attempts consumed bandwidth: usage reflects all 4 transfers.
+	if d.Usage(spuA) <= 0 {
+		t.Fatal("failed transfers did not charge bandwidth usage")
+	}
+}

@@ -25,9 +25,13 @@ func TestMergeForwardAdjacent(t *testing.T) {
 	if d.Total.Merges != 1 {
 		t.Fatalf("merges = %d", d.Total.Merges)
 	}
-	// 3 requests submitted, 2 serviced.
-	if d.Total.Requests != 2 {
-		t.Fatalf("serviced = %d", d.Total.Requests)
+	// 3 requests submitted, 2 physical transfers, but all 3 completed
+	// and count in the request statistics (the absorbed one rode along).
+	if d.Total.Requests != 3 {
+		t.Fatalf("completed = %d, want 3", d.Total.Requests)
+	}
+	if got := d.Total.Seek.N(); got != 2 {
+		t.Fatalf("physical transfers = %d, want 2", got)
 	}
 	if d.Total.Sectors != 8+16 {
 		t.Fatalf("sectors = %d", d.Total.Sectors)
@@ -80,7 +84,8 @@ func TestMergeOffByDefault(t *testing.T) {
 
 func TestMergeReducesRequestCountOnStream(t *testing.T) {
 	// A bursty sequential stream submitted while the disk is busy
-	// coalesces into far fewer, larger requests.
+	// coalesces into far fewer, larger physical transfers (the Seek
+	// sample counts one entry per transfer actually serviced).
 	run := func(merge bool) int64 {
 		eng := sim.NewEngine()
 		d := New(eng, HP97560(), NewPos(), 0)
@@ -90,7 +95,7 @@ func TestMergeReducesRequestCountOnStream(t *testing.T) {
 			d.Submit(req(spuA, int64(1000+i*8), 8, nil))
 		}
 		eng.Run()
-		return d.Total.Requests
+		return d.Total.Seek.N()
 	}
 	plain := run(false)
 	merged := run(true)

@@ -51,6 +51,11 @@ type Request struct {
 	Finished  sim.Time // when the transfer completed
 	SeekTime  sim.Time // seek component of service
 	RotTime   sim.Time // rotational-delay component of service
+	// Failed is set when an injected transient fault made the transfer
+	// fail: the request consumed arm time but moved no usable data, and
+	// the submitter is expected to retry. Submit clears it, so a request
+	// object can be resubmitted as-is.
+	Failed bool
 }
 
 // Positioning returns the mechanical positioning latency (seek plus

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fault"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/workload"
+)
+
+// DefaultFaultPlan is the isolation-under-faults schedule: every fault
+// lands on resources the victim SPU owns under an isolating scheme —
+// its affinity disk (disk 0) and the low-index CPUs that AssignHomes
+// gives the first user SPU — plus a global frame loss. Times are chosen
+// so the faults cover the bulk of a DefaultPmake run (~3 s).
+const DefaultFaultPlan = "disk-fail:0:300ms:1500ms:0.4," +
+	"disk-slow:0:300ms:1500ms:4," +
+	"cpu-slow:0:200ms:2s:0.25," +
+	"cpu-off:1:200ms:2s," +
+	"mem-loss:0:400ms:1500ms:0.2"
+
+// FaultRun is one scheme's measurement: mean pmake response time for
+// the victim SPU (whose resources are faulted) and the steady SPU, in
+// the faulted run and in a fault-free baseline run of the same kernel
+// configuration.
+type FaultRun struct {
+	Victim, VictimBase sim.Time
+	Steady, SteadyBase sim.Time
+}
+
+// FaultResult carries the isolation-under-faults family.
+type FaultResult struct {
+	Meter
+	Plan string
+	Runs map[core.Scheme]FaultRun
+}
+
+// FaultOptions tunes the experiment.
+type FaultOptions struct {
+	Kernel kernel.Options
+	// Plan overrides DefaultFaultPlan (parsed per run).
+	Plan string
+	// Pmake overrides the per-SPU job shape.
+	Pmake workload.PmakeParams
+}
+
+// RunFaults executes the isolation-under-faults family: two equal SPUs
+// on the 8-CPU fault-isolation machine, each running one pmake job on
+// its own disk. The fault plan degrades the victim SPU's disk and CPUs
+// and removes frames machine-wide; each scheme runs once clean and once
+// faulted. The isolation question is the steady SPU's column: under
+// PIso the faults are absorbed by the victim's partition, under SMP the
+// shared pools spread them to the bystander.
+func RunFaults(opts FaultOptions) FaultResult {
+	if opts.Plan == "" {
+		opts.Plan = DefaultFaultPlan
+	}
+	if opts.Pmake.Parallel == 0 {
+		opts.Pmake = workload.DefaultPmake()
+	}
+	res := FaultResult{Plan: opts.Plan, Runs: make(map[core.Scheme]FaultRun)}
+	for _, scheme := range Schemes {
+		base := runFaultConfig(scheme, "", opts, &res.Meter)
+		faulted := runFaultConfig(scheme, opts.Plan, opts, &res.Meter)
+		res.Runs[scheme] = FaultRun{
+			Victim: faulted.Victim, VictimBase: base.Victim,
+			Steady: faulted.Steady, SteadyBase: base.Steady,
+		}
+	}
+	return res
+}
+
+// runFaultConfig boots one kernel (clean when spec is empty) and
+// returns the two SPUs' pmake response times.
+func runFaultConfig(scheme core.Scheme, spec string, opts FaultOptions, m *Meter) FaultRun {
+	kopts := opts.Kernel
+	if spec != "" {
+		plan, err := fault.ParsePlan(spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: bad fault plan: %v", err))
+		}
+		kopts.Faults = plan
+	}
+	k := kernel.New(machine.FaultIsolation(), scheme, kopts)
+	// The victim SPU is created first so AssignHomes gives it the
+	// low-index CPUs the plan targets; its files live on disk 0.
+	victim := k.NewSPU("victim", 1)
+	steady := k.NewSPU("steady", 1)
+	k.SetAffinity(victim.ID(), 0)
+	k.SetAffinity(steady.ID(), 1)
+	k.Boot()
+	vj := workload.Pmake(k, victim.ID(), "victim-pmake", opts.Pmake)
+	sj := workload.Pmake(k, steady.ID(), "steady-pmake", opts.Pmake)
+	k.Spawn(vj)
+	k.Spawn(sj)
+	k.Run()
+	m.count(k)
+	return FaultRun{Victim: vj.ResponseTime(), Steady: sj.ResponseTime()}
+}
+
+// Rows returns, per scheme, each SPU's faulted response time normalized
+// to that scheme's own fault-free run (=100).
+func (r FaultResult) Rows() []struct {
+	Scheme core.Scheme
+	Victim float64
+	Steady float64
+} {
+	out := make([]struct {
+		Scheme core.Scheme
+		Victim float64
+		Steady float64
+	}, 0, len(Schemes))
+	for _, s := range Schemes {
+		run := r.Runs[s]
+		out = append(out, struct {
+			Scheme core.Scheme
+			Victim float64
+			Steady float64
+		}{s, Norm(run.Victim, run.VictimBase), Norm(run.Steady, run.SteadyBase)})
+	}
+	return out
+}
+
+// Table renders the family as a text table.
+func (r FaultResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Isolation under faults — pmake response time in the faulted run\n"+
+			"(normalized to the same scheme's fault-free run = 100;\n"+
+			"faults target the victim SPU's disk and CPUs, plus a global frame loss)",
+		"Scheme", "Victim SPU", "Steady SPU")
+	for _, row := range r.Rows() {
+		t.Addf(row.Scheme.String(), row.Victim, row.Steady)
+	}
+	return t
+}

@@ -126,6 +126,19 @@ func Registry() []Spec {
 			},
 		},
 		{
+			ID: "isolation-under-faults", Aliases: []string{"faults"},
+			Title: "Isolation under injected faults (extension)", Ablation: true,
+			Run: func() Output {
+				r := RunFaults(FaultOptions{})
+				s := Section{ID: "isolation-under-faults", Table: r.Table(), Bars: &BarChart{}}
+				for _, row := range r.Rows() {
+					s.Bars.Labels = append(s.Bars.Labels, row.Scheme.String()+" V", row.Scheme.String()+" S")
+					s.Bars.Values = append(s.Bars.Values, row.Victim, row.Steady)
+				}
+				return Output{Sections: []Section{s}, Events: r.Events}
+			},
+		},
+		{
 			ID: "abl-bwthreshold", Title: "Ablation: BW-difference threshold sweep", Ablation: true,
 			Run: func() Output {
 				r := RunAblationBWThreshold(nil)

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("disk-slow:0:2s:3s:4,cpu-off:1:1s:2s,mem-loss:0:5s:2s:0.25,disk-fail:1:500ms:0s,cpu-slow:3:1s:0s:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 5 {
+		t.Fatalf("parsed %d events", len(p.Events))
+	}
+	// Events are sorted by injection time.
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i-1].At > p.Events[i].At {
+			t.Fatalf("events not time-sorted: %v", p.Events)
+		}
+	}
+	first := p.Events[0]
+	if first.Kind != DiskFail || first.Target != 1 || first.At != 500*sim.Millisecond {
+		t.Fatalf("first event = %+v", first)
+	}
+	if first.Duration != 0 {
+		t.Fatalf("duration 0s should mean permanent, got %v", first.Duration)
+	}
+	if first.Severity != 0.3 {
+		t.Fatalf("disk-fail default severity = %g, want 0.3", first.Severity)
+	}
+	var off Event
+	for _, e := range p.Events {
+		if e.Kind == CPUOffline {
+			off = e
+		}
+	}
+	if off.Target != 1 || off.At != sim.Second || off.Duration != 2*sim.Second {
+		t.Fatalf("cpu-off event = %+v", off)
+	}
+}
+
+func TestParsePlanRoundTrips(t *testing.T) {
+	spec := "disk-fail:1:500ms:0s,cpu-off:1:1s:2s,disk-slow:0:2s:3s,mem-loss:0:5s:2s:0.4"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if len(p2.Events) != len(p.Events) {
+		t.Fatalf("round trip lost events: %q", p.String())
+	}
+	for i := range p.Events {
+		if p.Events[i] != p2.Events[i] {
+			t.Fatalf("round trip changed event %d: %+v vs %+v", i, p.Events[i], p2.Events[i])
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nope:0:1s:0s",          // unknown kind
+		"disk-slow:0:1s",        // missing duration
+		"disk-slow:x:1s:0s",     // bad target
+		"disk-slow:0:soon:0s",   // bad time
+		"disk-slow:0:1s:0s:0.5", // slowdown < 1
+		"disk-fail:0:1s:0s:2",   // probability > 1
+		"cpu-slow:0:1s:0s:1.5",  // straggler faster than nominal
+		"mem-loss:0:1s:0s:1",    // whole memory
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "fault:") {
+			t.Errorf("ParsePlan(%q): unhelpful error %v", bad, err)
+		}
+	}
+	p, err := ParsePlan("  ")
+	if err != nil || !p.Empty() {
+		t.Fatalf("blank spec: %v, %+v", err, p)
+	}
+}

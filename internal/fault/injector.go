@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"fmt"
+
+	"perfiso/internal/disk"
+	"perfiso/internal/mem"
+	"perfiso/internal/sched"
+	"perfiso/internal/sim"
+	"perfiso/internal/trace"
+)
+
+// Machine is the set of hooks the injector drives. The kernel fills it
+// in at boot; tests may wire subsystems directly.
+type Machine struct {
+	Sched *sched.Scheduler
+	Mem   *mem.Manager
+	Disks []*disk.Disk
+	// Rebalance re-divides CPU homes and memory entitlements after the
+	// machine shrinks or regrows (kernel.Rebalance). May be nil.
+	Rebalance func()
+	// Trace, when non-nil, receives a trace.Fault event per injection
+	// and recovery, so tests can assert why a run degraded.
+	Trace *trace.Tracer
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	Injected int64 // faults applied
+	Reverted int64 // transient faults healed
+}
+
+// Injector schedules a Plan's faults onto the simulation clock.
+type Injector struct {
+	eng *sim.Engine
+	m   Machine
+	rng *sim.RNG // failure-decision stream, forked per faulted disk
+
+	Stat Stats
+}
+
+// NewInjector creates an injector and schedules every event of the plan
+// on the engine. rng seeds the transient-failure decisions; fork a
+// dedicated stream so fault randomness cannot perturb anything else.
+func NewInjector(eng *sim.Engine, m Machine, plan *Plan, rng *sim.RNG) *Injector {
+	in := &Injector{eng: eng, m: m, rng: rng}
+	if plan == nil {
+		return in
+	}
+	for _, e := range plan.Events {
+		e := e
+		if err := in.check(e); err != nil {
+			panic(err)
+		}
+		// removed carries state from injection to recovery (MemLoss
+		// must restore exactly the frames it took).
+		removed := new(int)
+		eng.Call(e.At, "fault.inject", func() { in.apply(e, removed) })
+		if e.Duration > 0 {
+			eng.Call(e.At+e.Duration, "fault.revert", func() { in.revert(e, removed) })
+		}
+	}
+	return in
+}
+
+// check validates an event against the actual machine, so a bad spec
+// fails loudly at boot rather than mid-run.
+func (in *Injector) check(e Event) error {
+	switch e.Kind {
+	case DiskSlow, DiskFail:
+		if e.Target >= len(in.m.Disks) {
+			return fmt.Errorf("fault: disk %d out of range (machine has %d)", e.Target, len(in.m.Disks))
+		}
+	case CPUSlow, CPUOffline:
+		if in.m.Sched == nil || e.Target >= in.m.Sched.NumCPUs() {
+			return fmt.Errorf("fault: cpu %d out of range", e.Target)
+		}
+	case MemLoss:
+		if in.m.Mem == nil {
+			return fmt.Errorf("fault: mem-loss with no memory manager")
+		}
+	}
+	return nil
+}
+
+func (in *Injector) apply(e Event, removed *int) {
+	in.Stat.Injected++
+	switch e.Kind {
+	case DiskSlow:
+		in.m.Disks[e.Target].SetSlow(e.Severity)
+		in.emit(e, "inject", "disk%d service times x%g", e.Target, e.Severity)
+	case DiskFail:
+		in.m.Disks[e.Target].SetFault(e.Severity, in.rng.Fork())
+		in.emit(e, "inject", "disk%d fails transfers with p=%g", e.Target, e.Severity)
+	case CPUSlow:
+		in.m.Sched.SetCPUSpeed(e.Target, e.Severity)
+		in.emit(e, "inject", "cpu%d straggles at %gx speed", e.Target, e.Severity)
+	case CPUOffline:
+		in.m.Sched.SetOffline(e.Target, true)
+		in.rebalance()
+		in.emit(e, "inject", "cpu%d offline, %d remain", e.Target, in.m.Sched.OnlineCPUs())
+	case MemLoss:
+		n := int(e.Severity * float64(in.m.Mem.TotalPages()))
+		*removed = n
+		in.m.Mem.RemoveFrames(n)
+		in.rebalance()
+		in.emit(e, "inject", "%d frames lost (%.0f%%)", n, e.Severity*100)
+	}
+}
+
+func (in *Injector) revert(e Event, removed *int) {
+	in.Stat.Reverted++
+	switch e.Kind {
+	case DiskSlow:
+		in.m.Disks[e.Target].SetSlow(1)
+		in.emit(e, "heal", "disk%d back to nominal speed", e.Target)
+	case DiskFail:
+		in.m.Disks[e.Target].SetFault(0, nil)
+		in.emit(e, "heal", "disk%d transfers reliable again", e.Target)
+	case CPUSlow:
+		in.m.Sched.SetCPUSpeed(e.Target, 1)
+		in.emit(e, "heal", "cpu%d back to nominal speed", e.Target)
+	case CPUOffline:
+		in.m.Sched.SetOffline(e.Target, false)
+		in.rebalance()
+		in.emit(e, "heal", "cpu%d online, %d available", e.Target, in.m.Sched.OnlineCPUs())
+	case MemLoss:
+		in.m.Mem.AddFrames(*removed)
+		in.rebalance()
+		in.emit(e, "heal", "%d frames restored", *removed)
+	}
+}
+
+func (in *Injector) rebalance() {
+	if in.m.Rebalance != nil {
+		in.m.Rebalance()
+	}
+}
+
+func (in *Injector) emit(e Event, action, format string, args ...any) {
+	in.m.Trace.Emitf(trace.Fault, e.Kind.String(), action, format, args...)
+}

@@ -1,0 +1,114 @@
+package fault_test
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fault"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/sim"
+	"perfiso/internal/trace"
+	"perfiso/internal/workload"
+)
+
+// bootFaulted runs a two-SPU pmake under the plan and returns the
+// kernel after completion plus the finish time.
+func bootFaulted(t *testing.T, spec string) (*kernel.Kernel, sim.Time) {
+	t.Helper()
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(machine.FaultIsolation(), core.PIso, kernel.Options{
+		Faults:        plan,
+		TraceCapacity: 256,
+	})
+	a := k.NewSPU("a", 1)
+	b := k.NewSPU("b", 1)
+	k.SetAffinity(a.ID(), 0)
+	k.SetAffinity(b.ID(), 1)
+	k.Boot()
+	k.Spawn(workload.Pmake(k, a.ID(), "a", workload.DefaultPmake()))
+	k.Spawn(workload.Pmake(k, b.ID(), "b", workload.DefaultPmake()))
+	return k, k.Run()
+}
+
+func TestInjectorDrivesAllFaultKinds(t *testing.T) {
+	// One event of every kind; the transient ones heal mid-run.
+	spec := "disk-fail:0:100ms:1s:0.5," +
+		"disk-slow:0:200ms:1s:8," +
+		"cpu-slow:1:300ms:1s:0.25," +
+		"cpu-off:2:400ms:1s," +
+		"mem-loss:0:500ms:1s:0.2"
+	k, end := bootFaulted(t, spec)
+	if end <= 0 {
+		t.Fatal("workload never finished")
+	}
+	in := k.Injector()
+	if in == nil {
+		t.Fatal("kernel booted with a plan but no injector")
+	}
+	if in.Stat.Injected != 5 {
+		t.Fatalf("Injected = %d, want 5", in.Stat.Injected)
+	}
+	if in.Stat.Reverted != 5 {
+		t.Fatalf("Reverted = %d, want 5 (every fault is transient)", in.Stat.Reverted)
+	}
+	if n := k.Tracer().Count(trace.Fault); n < 10 {
+		t.Fatalf("trace recorded %d fault events, want >= 10 (inject + heal each)", n)
+	}
+	// Everything healed: the machine is whole again.
+	if got := k.Scheduler().OnlineCPUs(); got != 8 {
+		t.Fatalf("online CPUs = %d after heal, want 8", got)
+	}
+	if got := k.Memory().TotalPages(); got != machine.FaultIsolation().Pages() {
+		t.Fatalf("total pages = %d after heal, want %d", got, machine.FaultIsolation().Pages())
+	}
+	if k.Disk(0).Slow() != 1 || k.Disk(0).FailProb() != 0 {
+		t.Fatal("disk 0 still degraded after heal")
+	}
+	if err := k.Memory().Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Scheduler().Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultedRunIsDeterministic(t *testing.T) {
+	spec := "disk-fail:0:100ms:2s:0.4,cpu-off:1:200ms:1s,mem-loss:0:300ms:1s:0.25"
+	_, end1 := bootFaulted(t, spec)
+	k2, end2 := bootFaulted(t, spec)
+	if end1 != end2 {
+		t.Fatalf("same plan, same seed: finish times differ (%v vs %v)", end1, end2)
+	}
+	if k2.FS().Stat.Retries == 0 && k2.Memory().Stat.PageoutRetries == 0 {
+		t.Log("note: no retries triggered; disk-fail window may have missed all IO")
+	}
+}
+
+func TestFaultsSlowTheRunDown(t *testing.T) {
+	_, clean := bootFaulted(t, "")
+	// Leave only 2 of 8 CPUs for the 4 compile processes.
+	_, faulted := bootFaulted(t, "cpu-off:0:100ms:0s,cpu-off:1:100ms:0s,cpu-off:2:100ms:0s,"+
+		"cpu-off:3:100ms:0s,cpu-off:4:100ms:0s,cpu-off:5:100ms:0s")
+	if faulted <= clean {
+		t.Fatalf("6 of 8 CPUs gone permanently, yet run got no slower: %v vs %v", faulted, clean)
+	}
+}
+
+func TestInjectorRejectsOutOfRangeTargets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("boot accepted a fault plan targeting a disk the machine lacks")
+		}
+	}()
+	plan, err := fault.ParsePlan("disk-slow:7:1s:0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(machine.FaultIsolation(), core.PIso, kernel.Options{Faults: plan})
+	k.NewSPU("a", 1)
+	k.Boot()
+}

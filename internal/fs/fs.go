@@ -38,7 +38,15 @@ type Stats struct {
 	MetaWrites int64
 	Flushes    int64 // flush batches
 	Lookups    int64
+	Retries    int64 // failed disk requests resubmitted with backoff
 }
+
+const (
+	// retryBackoff is the initial delay before resubmitting a failed
+	// disk request; it doubles per attempt up to maxRetryBackoff.
+	retryBackoff    = 5 * sim.Millisecond
+	maxRetryBackoff = 80 * sim.Millisecond
+)
 
 // FileSystem is the buffer-cache and file layer over the disks.
 type FileSystem struct {
@@ -117,6 +125,30 @@ func (fs *FileSystem) PageInsertContention() (acquisitions int64, wait sim.Time)
 func (fs *FileSystem) withInsertLock(f *File, idx int64, fn func()) {
 	stripe := fs.pageInsert[uint64(f.seq*1315423911+idx)%uint64(len(fs.pageInsert))]
 	stripe.Acquire(false, fs.PageInsertHold, fn)
+}
+
+// submit issues a disk request with graceful degradation: a transfer
+// failed by an injected transient fault is resubmitted with exponential
+// backoff until it succeeds, and only then does the request's original
+// Done callback run. Every fs-originated request goes through here.
+func (fs *FileSystem) submit(d *disk.Disk, r *disk.Request) {
+	inner := r.Done
+	delay := retryBackoff
+	r.Done = func(rr *disk.Request) {
+		if rr.Failed {
+			fs.Stat.Retries++
+			wait := delay
+			if delay < maxRetryBackoff {
+				delay *= 2
+			}
+			fs.eng.CallAfter(wait, "fs.retry", func() { d.Submit(rr) })
+			return
+		}
+		if inner != nil {
+			inner(rr)
+		}
+	}
+	d.Submit(r)
 }
 
 // DirtyPages returns the number of dirty cache pages.
@@ -257,7 +289,7 @@ func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage)
 		}
 		launched = true
 		fs.Stat.ReadReqs++
-		f.Disk.Submit(&disk.Request{
+		fs.submit(f.Disk, &disk.Request{
 			Kind:   disk.Read,
 			Sector: cluster[0].Sector(),
 			Count:  len(cluster) * mem.SectorsPerPage,
@@ -377,7 +409,7 @@ func (fs *FileSystem) markDirty(cp *CachePage, spu core.SPUID) {
 func (fs *FileSystem) MetaUpdate(spu core.SPUID, f *File, done func()) {
 	fs.Stat.MetaWrites++
 	fs.Stat.WriteReqs++
-	f.Disk.Submit(&disk.Request{
+	fs.submit(f.Disk, &disk.Request{
 		Kind:   disk.Write,
 		Sector: f.metaSector,
 		Count:  1,
@@ -458,7 +490,7 @@ func (fs *FileSystem) flushCluster(f *File, cluster []*CachePage) {
 	}
 	fs.Stat.Flushes++
 	fs.Stat.WriteReqs++
-	f.Disk.Submit(&disk.Request{
+	fs.submit(f.Disk, &disk.Request{
 		Kind:    disk.Write,
 		Sector:  cluster[0].Sector(),
 		Count:   len(cluster) * mem.SectorsPerPage,
@@ -489,7 +521,7 @@ func (fs *FileSystem) WritebackEvicted(p *mem.Page, done func()) bool {
 		return false
 	}
 	fs.Stat.WriteReqs++
-	cp.file.Disk.Submit(&disk.Request{
+	fs.submit(cp.file.Disk, &disk.Request{
 		Kind:    disk.Write,
 		Sector:  cp.file.SectorOfPage(cp.idx),
 		Count:   mem.SectorsPerPage,

@@ -33,9 +33,9 @@ func newRig(pages int) *fsRig {
 	d := disk.New(eng, disk.HP97560(), disk.NewPIso(0), 0)
 	f := New(eng, mm, SemRW)
 	// Wire dirty cache eviction back into the disk, as the kernel does.
-	mm.SetPageout(func(p *mem.Page, done func()) {
-		if !f.WritebackEvicted(p, done) {
-			done()
+	mm.SetPageout(func(p *mem.Page, done func(ok bool)) {
+		if !f.WritebackEvicted(p, func() { done(true) }) {
+			done(true)
 		}
 	})
 	return &fsRig{eng: eng, spus: spus, mm: mm, d: d, fs: f,

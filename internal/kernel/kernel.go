@@ -10,6 +10,7 @@ import (
 
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
+	"perfiso/internal/fault"
 	"perfiso/internal/fs"
 	"perfiso/internal/machine"
 	"perfiso/internal/mem"
@@ -72,6 +73,10 @@ type Options struct {
 	// Horizon aborts the simulation if processes are still alive after
 	// this much simulated time (default 3600 s) — a hang detector.
 	Horizon sim.Time
+	// Faults, when non-empty, schedules deterministic hardware faults
+	// (disk degradation, CPU stragglers/offlining, memory-frame loss)
+	// at boot; see internal/fault.ParsePlan for the spec syntax.
+	Faults *fault.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +127,7 @@ type Kernel struct {
 	booted   bool
 	tracer   *trace.Tracer
 	timeline *stats.Timeline
+	injector *fault.Injector
 }
 
 // New builds (but does not boot) a kernel on the given hardware with
@@ -291,7 +297,20 @@ func (k *Kernel) Boot() {
 		k.tickers = append(k.tickers,
 			k.eng.Every(k.opts.TimelinePeriod, "kernel.timeline", k.sampleTimeline))
 	}
+	if !k.opts.Faults.Empty() {
+		k.injector = fault.NewInjector(k.eng, fault.Machine{
+			Sched:     k.sch,
+			Mem:       k.mm,
+			Disks:     k.disks,
+			Rebalance: k.Rebalance,
+			Trace:     k.tracer,
+		}, k.opts.Faults, k.rng.Fork())
+	}
 }
+
+// Injector returns the fault injector, or nil when no faults are
+// scheduled.
+func (k *Kernel) Injector() *fault.Injector { return k.injector }
 
 // sampleTimeline records each user SPU's instantaneous CPU occupancy
 // (in CPUs) and memory usage (in MB).
@@ -366,9 +385,12 @@ func (k *Kernel) Run() sim.Time {
 
 // pageout routes dirty evicted pages to backing store: cache pages to
 // their file location, anonymous pages to the owning SPU's swap region,
-// both scheduled under the shared SPU with charge-back (§3.3).
-func (k *Kernel) pageout(p *mem.Page, done func()) {
-	if k.fsys.WritebackEvicted(p, done) {
+// both scheduled under the shared SPU with charge-back (§3.3). Cache
+// write-backs retry failed transfers inside the file system; failed
+// swap writes report ok=false and the memory manager retries with
+// backoff.
+func (k *Kernel) pageout(p *mem.Page, done func(ok bool)) {
+	if k.fsys.WritebackEvicted(p, func() { done(true) }) {
 		return
 	}
 	d := k.AffinityDisk(p.SPU)
@@ -378,7 +400,7 @@ func (k *Kernel) pageout(p *mem.Page, done func()) {
 		Count:   mem.SectorsPerPage,
 		SPU:     core.SharedID,
 		Charges: []disk.Charge{{SPU: p.SPU, Sectors: mem.SectorsPerPage}},
-		Done:    func(*disk.Request) { done() },
+		Done:    func(r *disk.Request) { done(!r.Failed) },
 	})
 }
 
@@ -414,7 +436,7 @@ func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
 			n = pages - 4*(reqs-1)
 		}
 		count := n * mem.SectorsPerPage
-		d.Submit(&disk.Request{
+		k.submitRetry(d, &disk.Request{
 			Kind:   disk.Read,
 			Sector: k.swapSlot(spu, int64(count)),
 			Count:  count,
@@ -427,4 +449,32 @@ func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
 			},
 		})
 	}
+}
+
+// submitRetry issues a swap-region disk request, resubmitting transfers
+// failed by an injected fault with exponential backoff. The original
+// Done callback only ever sees a successful request.
+func (k *Kernel) submitRetry(d *disk.Disk, r *disk.Request) {
+	const (
+		base = 5 * sim.Millisecond
+		max  = 80 * sim.Millisecond
+	)
+	inner := r.Done
+	delay := base
+	r.Done = func(rr *disk.Request) {
+		if rr.Failed {
+			wait := delay
+			if delay < max {
+				delay *= 2
+			}
+			k.tracer.Emitf(trace.Fault, fmt.Sprintf("spu%d", rr.SPU), "swap-retry",
+				"%s of %d sectors failed, retrying in %v", rr.Kind, rr.Count, wait)
+			k.eng.CallAfter(wait, "kernel.swap-retry", func() { d.Submit(rr) })
+			return
+		}
+		if inner != nil {
+			inner(rr)
+		}
+	}
+	d.Submit(r)
 }

@@ -61,6 +61,14 @@ func MemoryIsolation() Config {
 	return Config{Name: "memory-isolation", CPUs: 4, MemoryMB: 16, Disks: fastDisks(2)}
 }
 
+// FaultIsolation is the machine for the isolation-under-faults family
+// (not a Table 1 row — the paper never injects hardware faults): 8
+// CPUs, 44 MB, and two separate fast disks so the victim SPU's faulted
+// disk is physically distinct from the steady SPU's.
+func FaultIsolation() Config {
+	return Config{Name: "fault-isolation", CPUs: 8, MemoryMB: 44, Disks: fastDisks(2)}
+}
+
 // DiskIsolation is the Table 1 row for the disk bandwidth workloads:
 // 2 CPUs, 44 MB, one shared HP 97560 with the paper's seek scaling of
 // two ("the model has half the seek latency of the regular disk").

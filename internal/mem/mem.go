@@ -82,9 +82,10 @@ type Page struct {
 }
 
 // PageoutFunc writes a dirty page's contents to backing store and calls
-// done when the write completes. The kernel wires this to the right disk;
-// tests may complete synchronously.
-type PageoutFunc func(p *Page, done func())
+// done when the write completes, with ok=false if the write failed (a
+// degraded disk); the manager retries failed pageouts with backoff. The
+// kernel wires this to the right disk; tests may complete synchronously.
+type PageoutFunc func(p *Page, done func(ok bool))
 
 // waiter is a pending allocation that could not be satisfied.
 type waiter struct {
@@ -96,13 +97,14 @@ type waiter struct {
 
 // Stats aggregates memory-manager statistics.
 type Stats struct {
-	Allocations  int64
-	Denials      int64 // allocation attempts denied (limit or no memory)
-	Evictions    int64
-	DirtyWrites  int64
-	Retags       int64 // pages re-tagged to the shared SPU
-	FreePages    stats.TimeWeighted
-	WaitQueueLen stats.TimeWeighted
+	Allocations    int64
+	Denials        int64 // allocation attempts denied (limit or no memory)
+	Evictions      int64
+	DirtyWrites    int64
+	PageoutRetries int64 // failed pageout writes retried with backoff
+	Retags         int64 // pages re-tagged to the shared SPU
+	FreePages      stats.TimeWeighted
+	WaitQueueLen   stats.TimeWeighted
 }
 
 // Manager is the physical memory manager for one machine.
@@ -163,6 +165,33 @@ func (m *Manager) FreePages() int { return m.total - m.UsedPages() }
 // ReservePages returns the Reserve Threshold in pages.
 func (m *Manager) ReservePages() int { return int(m.reserve * float64(m.total)) }
 
+// RemoveFrames takes n frames out of service (fault injection: failed
+// DIMMs, or a pressure spike from outside the model). The free count
+// may go negative; the pager immediately evicts to rebalance the books,
+// and allocations are denied until it succeeds. The caller should
+// re-divide entitlements afterwards (kernel.Rebalance does).
+func (m *Manager) RemoveFrames(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= m.total {
+		n = m.total - 1 // never remove the whole machine
+	}
+	m.total -= n
+	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
+	m.kickReclaim()
+}
+
+// AddFrames returns n frames to service, waking any queued waiters.
+func (m *Manager) AddFrames(n int) {
+	if n <= 0 {
+		return
+	}
+	m.total += n
+	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
+	m.serveWaiters()
+}
+
 // DivideAmongSPUs recomputes user SPUs' entitled/allowed memory from the
 // frames not consumed by the kernel and shared SPUs (§2.2, §3.2). The
 // kernel calls this at boot and from the policy tick.
@@ -183,7 +212,7 @@ func (m *Manager) Allocate(spu core.SPUID, kind Kind, owner Owner) *Page {
 	if kind == Kernel {
 		s = m.spus.Kernel()
 	}
-	if m.FreePages() == 0 || !s.CanUse(core.Memory, 1) {
+	if m.FreePages() <= 0 || !s.CanUse(core.Memory, 1) {
 		m.Stat.Denials++
 		if spu.IsUser() {
 			m.pressure[spu] = true

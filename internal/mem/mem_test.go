@@ -183,9 +183,9 @@ func TestDirtyEvictionGoesThroughPageout(t *testing.T) {
 	p := m.Allocate(us[0].ID(), Anon, o)
 	m.MarkDirty(p)
 	var wrote []*Page
-	m.SetPageout(func(pg *Page, done func()) {
+	m.SetPageout(func(pg *Page, done func(ok bool)) {
 		wrote = append(wrote, pg)
-		eng.After(10*sim.Millisecond, "writeback", done)
+		eng.After(10*sim.Millisecond, "writeback", func() { done(true) })
 	})
 	var delivered *Page
 	m.Request(us[0].ID(), Anon, o, func(np *Page) { delivered = np })

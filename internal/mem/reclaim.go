@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/sim"
 	"perfiso/internal/trace"
 )
 
@@ -35,7 +36,7 @@ func (m *Manager) kickReclaim() {
 
 	// 2. If the free pool is exhausted and SPUs below their entitlement
 	// are waiting, revoke loans from borrowers first.
-	if m.FreePages() == 0 && m.waitersUnderEntitled() {
+	if m.FreePages() <= 0 && m.waitersUnderEntitled() {
 		m.revokeLoans(len(m.waiters))
 	}
 
@@ -56,11 +57,24 @@ func (m *Manager) kickReclaim() {
 	// (unconstrained SMP sharing, or shared/kernel growth). Evict the
 	// least-recently-used pages regardless of owner.
 	guard := len(m.waiters)
-	for m.FreePages() == 0 && len(m.waiters) > 0 && guard > 0 {
+	for m.FreePages() <= 0 && len(m.waiters) > 0 && guard > 0 {
 		if !m.evictFrom(func(p *Page) bool { return true }) {
 			break
 		}
 		guard--
+	}
+
+	// 5. Frame loss (RemoveFrames drove the free count negative): evict
+	// until the books balance, waiters or not. Each eviction frees a
+	// frame now (clean) or when its write-back lands (dirty), so one
+	// pass of deficit evictions suffices — looping on FreePages() would
+	// spin on in-flight dirty pages.
+	if deficit := -m.FreePages(); deficit > 0 {
+		for i := 0; i < deficit; i++ {
+			if !m.evictFrom(func(p *Page) bool { return true }) {
+				break
+			}
+		}
 	}
 }
 
@@ -173,12 +187,33 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 		victim.evicting = true
 		m.unlink(victim)
 		m.inFlight++
-		m.pageout(victim, func() {
+		// Retry failed write-backs (degraded disk) with exponential
+		// backoff: the frame stays in flight — charged and unusable —
+		// until the data really is on stable storage.
+		const (
+			pageoutBackoff    = 5 * sim.Millisecond
+			maxPageoutBackoff = 80 * sim.Millisecond
+		)
+		delay := pageoutBackoff
+		var onDone func(ok bool)
+		onDone = func(ok bool) {
+			if !ok {
+				m.Stat.PageoutRetries++
+				m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "pageout-retry",
+					"write-back failed, retrying in %v", delay)
+				d := delay
+				if delay < maxPageoutBackoff {
+					delay *= 2
+				}
+				m.eng.CallAfter(d, "mem.pageout-retry", func() { m.pageout(victim, onDone) })
+				return
+			}
 			m.inFlight--
 			m.spus.Get(victim.SPU).Charge(core.Memory, -1)
 			m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
 			m.serveWaiters()
-		})
+		}
+		m.pageout(victim, onDone)
 		return true
 	}
 	if victim.Dirty {

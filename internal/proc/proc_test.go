@@ -60,12 +60,12 @@ func newEnv(nSPU int, policy core.Policy, cpus, pages int) (*testEnv, []*core.SP
 	d := disk.New(eng, disk.HP97560(), disk.NewPIso(0), 0)
 	env := &testEnv{eng: eng, spus: spus, sch: sch, mm: mm, filesys: filesys, d: d,
 		al: fs.NewAllocator(d, sim.NewRNG(7))}
-	mm.SetPageout(func(p *mem.Page, done func()) {
-		if !filesys.WritebackEvicted(p, done) {
+	mm.SetPageout(func(p *mem.Page, done func(ok bool)) {
+		if !filesys.WritebackEvicted(p, func() { done(true) }) {
 			// Anonymous page: write to swap.
 			d.Submit(&disk.Request{Kind: disk.Write,
 				Sector: d.Params().TotalSectors() - 200000, Count: mem.SectorsPerPage,
-				SPU: core.SharedID, Done: func(*disk.Request) { done() }})
+				SPU: core.SharedID, Done: func(*disk.Request) { done(true) }})
 		}
 	})
 	return env, us

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+func TestOfflineCPURehomesPartition(t *testing.T) {
+	_, _, s, us := schedRig(2, core.ShareIdle, 4)
+	// 2 equal SPUs on 4 CPUs: 2 homes each.
+	count := func(id core.SPUID) int {
+		n := 0
+		for _, h := range s.Homes() {
+			if h == id {
+				n++
+			}
+		}
+		return n
+	}
+	if count(us[0].ID()) != 2 || count(us[1].ID()) != 2 {
+		t.Fatalf("initial homes %v", s.Homes())
+	}
+
+	s.SetOffline(3, true)
+	s.AssignHomes()
+	if got := s.OnlineCPUs(); got != 3 {
+		t.Fatalf("online = %d, want 3", got)
+	}
+	// 3 online CPUs over 2 SPUs: one dedicated home each plus a rotated
+	// fractional CPU; the offline CPU is parked at the kernel SPU.
+	if count(us[0].ID())+count(us[1].ID()) != 3 {
+		t.Fatalf("homes after offline: %v", s.Homes())
+	}
+	if s.Homes()[3] != core.KernelID {
+		t.Fatalf("offline CPU homed at %v", s.Homes()[3])
+	}
+	if got := us[0].Entitled(core.CPU); got != 1.5 {
+		t.Fatalf("entitlement after shrink = %v, want 1.5", got)
+	}
+
+	s.SetOffline(3, false)
+	s.AssignHomes()
+	if count(us[0].ID()) != 2 || count(us[1].ID()) != 2 {
+		t.Fatalf("homes after online: %v", s.Homes())
+	}
+	if got := us[0].Entitled(core.CPU); got != 2 {
+		t.Fatalf("entitlement after regrow = %v, want 2", got)
+	}
+}
+
+func TestOfflineCPUPreemptsAndReplacesThread(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 2)
+	var done sim.Time
+	th := burst(s, us[0].ID(), "t", 100*sim.Millisecond, &done, eng)
+	s.Wake(th)
+	// Offline the CPU the thread landed on; it must migrate to the
+	// other CPU and still finish.
+	s.SetOffline(th.cpu, true)
+	s.AssignHomes()
+	runTicks(eng, s, sim.Second)
+	if done == 0 {
+		t.Fatal("thread never finished after its CPU went offline")
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineCPUNeverDispatches(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 2)
+	s.SetOffline(1, true)
+	s.AssignHomes()
+	for i := 0; i < 4; i++ {
+		s.Wake(burst(s, us[0].ID(), "t", 50*sim.Millisecond, nil, eng))
+	}
+	runTicks(eng, s, 50*sim.Millisecond)
+	if cur := s.cpus[1].cur; cur != nil {
+		t.Fatalf("offline CPU is running %q", cur.Name)
+	}
+	if s.IdleCPUs() != 0 {
+		t.Fatalf("IdleCPUs = %d with work queued and 1 online CPU", s.IdleCPUs())
+	}
+}
+
+func TestStragglerDilatesWallTime(t *testing.T) {
+	elapsed := func(speed float64) sim.Time {
+		eng, _, s, us := schedRig(1, core.ShareIdle, 1)
+		if speed != 1 {
+			s.SetCPUSpeed(0, speed)
+		}
+		var done sim.Time
+		s.Wake(burst(s, us[0].ID(), "t", 90*sim.Millisecond, &done, eng))
+		runTicks(eng, s, 10*sim.Second)
+		if done == 0 {
+			t.Fatalf("burst never finished at speed %v", speed)
+		}
+		return done
+	}
+	nominal := elapsed(1)
+	slow := elapsed(0.5)
+	if nominal != 90*sim.Millisecond {
+		t.Fatalf("nominal burst took %v", nominal)
+	}
+	if slow != 2*nominal {
+		t.Fatalf("half-speed burst took %v, want %v", slow, 2*nominal)
+	}
+}
+
+func TestStragglerRecoversAtFullSpeed(t *testing.T) {
+	eng, _, s, us := schedRig(1, core.ShareIdle, 1)
+	s.SetCPUSpeed(0, 0.25)
+	var done sim.Time
+	s.Wake(burst(s, us[0].ID(), "t", 100*sim.Millisecond, &done, eng))
+	// Heal the straggler after 40 ms of wall time (10 ms of progress).
+	eng.At(40*sim.Millisecond, "heal", func() { s.SetCPUSpeed(0, 1) })
+	runTicks(eng, s, 10*sim.Second)
+	// 40 ms at quarter speed = 10 ms progress, then 90 ms at full speed.
+	if done != 130*sim.Millisecond {
+		t.Fatalf("burst finished at %v, want 130ms", done)
+	}
+}

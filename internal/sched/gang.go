@@ -131,6 +131,9 @@ func (s *Scheduler) placeGangs() {
 // home's policy is ShareAll (the SMP scheme), where the home
 // restriction does not exist.
 func (s *Scheduler) eligibleForSPU(c *cpu, spu core.SPUID) bool {
+	if c.offline {
+		return false
+	}
 	if c.home == spu {
 		return true
 	}

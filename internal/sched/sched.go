@@ -36,6 +36,13 @@ type cpu struct {
 	loan     bool     // cur belongs to a foreign SPU
 	busyness stats.TimeWeighted
 
+	// Fault injection (internal/fault). An offline CPU is excluded from
+	// home assignment, dispatch, lending, rotation and gang placement; a
+	// straggler runs at speed < 1, so a slice of wall time accomplishes
+	// proportionally less progress.
+	offline bool
+	speed   float64 // 1 = nominal
+
 	lastThread  *Thread  // cache ownership: who ran here most recently
 	lastRevoke  sim.Time // when a loan was last revoked (rate limiter)
 	everRevoked bool
@@ -122,7 +129,7 @@ func New(eng *sim.Engine, spus *core.Manager, numCPUs int, opts Options) *Schedu
 	for i := 0; i < numCPUs; i++ {
 		// Before AssignHomes runs, CPUs are homed at the kernel SPU,
 		// whose ShareAll policy makes the machine behave as plain SMP.
-		s.cpus = append(s.cpus, &cpu{idx: i, home: core.KernelID})
+		s.cpus = append(s.cpus, &cpu{idx: i, home: core.KernelID, speed: 1})
 	}
 	return s
 }
@@ -140,8 +147,23 @@ func (s *Scheduler) AssignHomes() {
 	if len(users) == 0 {
 		return
 	}
+	// Only online CPUs are divided up; an offlined CPU (fault injection)
+	// is parked at the kernel SPU and excluded from rotation, so
+	// entitlements shrink to the machine that actually exists.
+	var online []*cpu
+	for _, c := range s.cpus {
+		if c.offline {
+			c.home = core.KernelID
+			c.fixed = true
+			continue
+		}
+		online = append(online, c)
+	}
+	if len(online) == 0 {
+		return
+	}
 	tw := s.spus.TotalWeight()
-	n := len(s.cpus)
+	n := len(online)
 	next := 0
 	type claim struct {
 		id   core.SPUID
@@ -152,8 +174,8 @@ func (s *Scheduler) AssignHomes() {
 		exact := float64(n) * u.Weight() / tw
 		whole := int(exact)
 		for i := 0; i < whole && next < n; i++ {
-			s.cpus[next].home = u.ID()
-			s.cpus[next].fixed = true
+			online[next].home = u.ID()
+			online[next].fixed = true
 			next++
 		}
 		if f := exact - float64(whole); f > 1e-9 {
@@ -163,9 +185,9 @@ func (s *Scheduler) AssignHomes() {
 	}
 	// Remaining CPUs rotate among fractional claimants.
 	for ; next < n; next++ {
-		s.cpus[next].fixed = false
+		online[next].fixed = false
 		if len(claims) > 0 {
-			s.cpus[next].home = claims[0].id
+			online[next].home = claims[0].id
 		}
 	}
 	// Re-homing a CPU that is running a now-foreign thread turns the
@@ -209,6 +231,71 @@ func (s *Scheduler) mayLend(owner, borrower core.SPUID) bool {
 	return set[borrower]
 }
 
+// SetOffline takes a CPU out of (or returns it to) service. Offlining a
+// busy CPU preempts its thread back onto the runqueue and tries to
+// place it elsewhere. The caller is expected to re-run AssignHomes (and
+// re-divide the other resources) so entitlements match the shrunken or
+// regrown machine; kernel.Rebalance does both.
+func (s *Scheduler) SetOffline(idx int, off bool) {
+	c := s.cpus[idx]
+	if c.offline == off {
+		return
+	}
+	c.offline = off
+	if off {
+		t := c.cur
+		if t != nil {
+			s.preempt(c)
+		}
+		c.lastThread = nil // the cache does not survive the outage
+		c.busyness.Set(s.eng.Now(), 0)
+		if t != nil {
+			s.tryDispatchThread(t)
+		}
+		return
+	}
+	s.dispatch(c)
+}
+
+// Offline reports whether the CPU is out of service.
+func (s *Scheduler) Offline(idx int) bool { return s.cpus[idx].offline }
+
+// OnlineCPUs returns how many CPUs are in service.
+func (s *Scheduler) OnlineCPUs() int {
+	n := 0
+	for _, c := range s.cpus {
+		if !c.offline {
+			n++
+		}
+	}
+	return n
+}
+
+// SetCPUSpeed makes a CPU a straggler: it executes at the given
+// fraction of nominal speed (0 or 1 restores nominal; values above 1
+// are allowed and make it faster). The current thread is preempted so
+// accounting at the old speed is settled before the new speed applies.
+func (s *Scheduler) SetCPUSpeed(idx int, speed float64) {
+	if speed <= 0 {
+		speed = 1
+	}
+	c := s.cpus[idx]
+	if c.speed == speed {
+		return
+	}
+	t := c.cur
+	if t != nil {
+		s.preempt(c)
+	}
+	c.speed = speed
+	if t != nil {
+		s.dispatch(c)
+	}
+}
+
+// CPUSpeed returns the CPU's current speed factor.
+func (s *Scheduler) CPUSpeed(idx int) float64 { return s.cpus[idx].speed }
+
 // Homes returns the current home SPU of each CPU (for tests/reporting).
 func (s *Scheduler) Homes() []core.SPUID {
 	out := make([]core.SPUID, len(s.cpus))
@@ -224,7 +311,7 @@ func (s *Scheduler) Homes() []core.SPUID {
 func (s *Scheduler) rotate() {
 	var rotatable []*cpu
 	for _, c := range s.cpus {
-		if !c.fixed {
+		if !c.fixed && !c.offline {
 			rotatable = append(rotatable, c)
 		}
 	}
@@ -308,7 +395,7 @@ func (s *Scheduler) removeFromQueue(t *Thread) {
 func (s *Scheduler) tryDispatchThread(t *Thread) {
 	// Idle home CPU (kernel threads may run anywhere).
 	for _, c := range s.cpus {
-		if c.cur == nil && (c.home == t.SPU || t.SPU == core.KernelID || s.spus.Get(c.home).Policy() == core.ShareAll) {
+		if c.cur == nil && !c.offline && (c.home == t.SPU || t.SPU == core.KernelID || s.spus.Get(c.home).Policy() == core.ShareAll) {
 			s.dispatch(c)
 			if c.cur != nil {
 				return
@@ -318,7 +405,7 @@ func (s *Scheduler) tryDispatchThread(t *Thread) {
 	// Idle foreign CPU willing to lend (respecting the owner's lending
 	// preference; the dispatch itself re-checks the loan rate limiter).
 	for _, c := range s.cpus {
-		if c.cur == nil && s.spus.Get(c.home).Policy() == core.ShareIdle &&
+		if c.cur == nil && !c.offline && s.spus.Get(c.home).Policy() == core.ShareIdle &&
 			s.mayLend(c.home, t.SPU) {
 			s.dispatch(c)
 			if c.cur != nil {
@@ -414,7 +501,7 @@ func (s *Scheduler) best(id core.SPUID) *Thread {
 
 // dispatch fills an idle CPU. No-op if nothing is eligible.
 func (s *Scheduler) dispatch(c *cpu) {
-	if c.cur != nil {
+	if c.cur != nil || c.offline {
 		return
 	}
 	t, loan := s.pickFor(c)
@@ -455,9 +542,18 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 	if t.Remaining < run {
 		run = t.Remaining
 	}
+	// A straggler CPU (speed < 1) takes proportionally longer wall time
+	// to deliver the same progress; accountRun scales it back.
+	wall := run
+	if c.speed != 1 {
+		wall = sim.Time(float64(run) / c.speed)
+		if wall < 1 {
+			wall = 1
+		}
+	}
 	c.sliceSeq++
 	seq := c.sliceSeq
-	s.eng.CallAfter(run, "sched.slice", func() {
+	s.eng.CallAfter(wall, "sched.slice", func() {
 		if seq == c.sliceSeq {
 			s.sliceEnd(c)
 		}
@@ -521,7 +617,17 @@ func (s *Scheduler) accountRun(c *cpu) {
 	if ran <= 0 {
 		return
 	}
-	t.Remaining -= ran
+	// On a straggler, wall time on the CPU yields speed-scaled progress
+	// against the burst (clamped to ≥ 1 ns so a preempt-redispatch cycle
+	// cannot stall forever on rounding).
+	progress := ran
+	if c.speed != 1 {
+		progress = sim.Time(float64(ran) * c.speed)
+		if progress < 1 {
+			progress = 1
+		}
+	}
+	t.Remaining -= progress
 	if t.Remaining < 0 {
 		t.Remaining = 0
 	}
@@ -593,7 +699,7 @@ func (s *Scheduler) Tick() {
 // homeHasIdleCPU reports whether some CPU homed at id is idle.
 func (s *Scheduler) homeHasIdleCPU(id core.SPUID) bool {
 	for _, c := range s.cpus {
-		if c.home == id && c.cur == nil {
+		if c.home == id && c.cur == nil && !c.offline {
 			return true
 		}
 	}
@@ -631,7 +737,7 @@ func (s *Scheduler) Utilization() float64 {
 func (s *Scheduler) IdleCPUs() int {
 	n := 0
 	for _, c := range s.cpus {
-		if c.cur == nil {
+		if c.cur == nil && !c.offline {
 			n++
 		}
 	}

@@ -27,6 +27,7 @@ const (
 	FS                 // file system: flushes, lock contention
 	Proc               // process lifecycle
 	Policy             // periodic policy ticks
+	Fault              // injected faults and their recovery
 	NumKinds
 )
 
@@ -45,6 +46,8 @@ func (k Kind) String() string {
 		return "proc"
 	case Policy:
 		return "policy"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -34,6 +34,7 @@ import (
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/experiment"
+	"perfiso/internal/fault"
 	"perfiso/internal/kernel"
 	"perfiso/internal/machine"
 	"perfiso/internal/proc"
@@ -100,13 +101,24 @@ const (
 	Second      = sim.Second
 )
 
-// Machine configurations from Table 1.
+// Machine configurations from Table 1 (FaultIsolationMachine is the
+// extension machine for the isolation-under-faults family).
 var (
-	Pmake8Machine        = machine.Pmake8
-	CPUIsolationMachine  = machine.CPUIsolation
-	MemIsolationMachine  = machine.MemoryIsolation
-	DiskIsolationMachine = machine.DiskIsolation
+	Pmake8Machine         = machine.Pmake8
+	CPUIsolationMachine   = machine.CPUIsolation
+	MemIsolationMachine   = machine.MemoryIsolation
+	DiskIsolationMachine  = machine.DiskIsolation
+	FaultIsolationMachine = machine.FaultIsolation
 )
+
+// FaultPlan is a deterministic fault schedule; assign one to
+// Options.Faults before New to degrade the machine mid-run.
+type FaultPlan = fault.Plan
+
+// ParseFaults parses a fault schedule spec (see the -faults flag of
+// pisosim): comma-separated kind:target:at:duration[:severity] events,
+// e.g. "disk-fail:0:1s:2s:0.3,cpu-off:1:500ms:0s".
+func ParseFaults(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
 
 // Workload parameter presets.
 var (
