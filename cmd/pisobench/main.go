@@ -4,11 +4,13 @@
 // registry in internal/experiment and run across a bounded worker pool
 // (-parallel); output order is always the registry order, so parallel
 // runs print byte-identical tables. With -short it skips the ablations;
-// -json writes a machine-readable benchmark report.
+// -json writes a machine-readable benchmark report, and -metrics writes
+// the per-experiment observability artifact (JSONL, deterministic at
+// any -parallel level).
 //
 // Usage:
 //
-//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH]
+//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH]
 //	pisobench -list
 package main
 
@@ -29,13 +31,14 @@ import (
 // config holds the parsed flag values so the dispatch logic is testable
 // without re-executing the binary.
 type config struct {
-	short    bool
-	markdown bool
-	compare  bool
-	list     bool
-	only     string
-	parallel int
-	jsonPath string
+	short       bool
+	markdown    bool
+	compare     bool
+	list        bool
+	only        string
+	parallel    int
+	jsonPath    string
+	metricsPath string
 }
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	flag.BoolVar(&cfg.list, "list", false, "list registered experiment ids and exit")
 	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
+	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
 	flag.Parse()
 	os.Exit(run(cfg, os.Stdout, os.Stderr))
 }
@@ -119,6 +123,17 @@ func run(cfg config, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.metricsPath != "" {
+		var buf strings.Builder
+		if err := experiment.MetricsJSONL(results, &buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.metricsPath, []byte(buf.String()), 0o644); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

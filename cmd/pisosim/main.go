@@ -36,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	unbalanced := fs.Bool("unbalanced", false, "use the unbalanced job distribution (pmake8, mem)")
 	traceN := fs.Int("trace", 0, "dump the last N resource-management decisions")
 	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
+	metricsPath := fs.String("metrics", "", "write per-SPU metrics as JSONL to this file")
+	chromePath := fs.String("chrometrace", "", "write a Chrome trace-event file (open in Perfetto or chrome://tracing)")
 	faultSpec := fs.String("faults", "", "inject deterministic faults: kind:target:at:duration[:severity],...\n(kinds: disk-slow, disk-fail, cpu-slow, cpu-off, mem-loss; duration 0s = permanent)")
 	specPath := fs.String("spec", "", "run a declarative JSON scenario and print a JSON result")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timeline {
 		opts.TimelinePeriod = 100 * perfiso.Millisecond
 	}
+	if *metricsPath != "" || *chromePath != "" {
+		opts.MetricsPeriod = 100 * perfiso.Millisecond
+	}
 	if *faultSpec != "" {
 		plan, err := perfiso.ParseFaults(*faultSpec)
 		if err != nil {
@@ -97,7 +102,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "disk: mean wait %.1fms, mean positioning %.2fms\n", wait*1000, pos*1000)
 	}
 	report(sys, stdout)
+	if *metricsPath != "" {
+		if err := writeExport(*metricsPath, sys.WriteMetrics); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nmetrics written to %s\n", *metricsPath)
+	}
+	if *chromePath != "" {
+		if err := writeExport(*chromePath, sys.WriteChromeTrace); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s (open in Perfetto)\n", *chromePath)
+	}
 	return 0
+}
+
+// writeExport creates path and streams one of the System export methods
+// into it.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseScheme(name string) (perfiso.Scheme, bool) {
@@ -129,6 +162,9 @@ func report(sys *perfiso.System, w io.Writer) {
 	}
 	if tl := sys.Kernel().Timeline(); tl != nil {
 		fmt.Fprintf(w, "\nper-SPU usage over time (CPUs / MB):\n%s", tl.Render(64))
+	}
+	if tbl := sys.Kernel().UsageTable(); tbl != nil {
+		fmt.Fprintf(w, "\n%s", tbl)
 	}
 	if tr := sys.Kernel().Tracer(); tr != nil && tr.Len() > 0 {
 		fmt.Fprintf(w, "\nlast %d resource-management decisions:\n", tr.Len())

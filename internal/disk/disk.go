@@ -136,6 +136,26 @@ func (d *Disk) FailProb() float64 { return d.failProb }
 // QueueLen returns the number of requests waiting (not in service).
 func (d *Disk) QueueLen() int { return len(d.queue) }
 
+// QueuedFor returns the number of waiting requests charged to the SPU —
+// the per-SPU queue depth the observability layer samples.
+func (d *Disk) QueuedFor(id core.SPUID) int {
+	n := 0
+	for _, r := range d.queue {
+		if r.SPU == id {
+			n++
+		}
+	}
+	return n
+}
+
+// SectorsFor returns the cumulative sectors transferred for the SPU.
+func (d *Disk) SectorsFor(id core.SPUID) int64 {
+	if s, ok := d.PerSPU[id]; ok {
+		return s.Sectors
+	}
+	return 0
+}
+
 // Busy reports whether a request is currently in service.
 func (d *Disk) Busy() bool { return d.busy }
 

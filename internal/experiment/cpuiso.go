@@ -62,6 +62,9 @@ func RunCPUIso(opts CPUIsoOptions) CPUIsoResult {
 }
 
 func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions, m *Meter) CPUIsoRun {
+	if opts.Kernel.MetricsPeriod == 0 {
+		opts.Kernel.MetricsPeriod = metricsPeriod
+	}
 	k := kernel.New(machine.CPUIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("ocean", 1)
 	spu2 := k.NewSPU("eda", 1)
@@ -81,7 +84,7 @@ func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions, m *Meter) CPUIsoRun
 		k.Spawn(v)
 	}
 	k.Run()
-	m.count(k)
+	m.observe(k, scheme.String())
 	mean := func(ps []*proc.Process) sim.Time {
 		ts := make([]sim.Time, len(ps))
 		for i, p := range ps {

@@ -78,6 +78,9 @@ func RunFaults(opts FaultOptions) FaultResult {
 // returns the two SPUs' pmake response times.
 func runFaultConfig(scheme core.Scheme, spec string, opts FaultOptions, m *Meter) FaultRun {
 	kopts := opts.Kernel
+	if kopts.MetricsPeriod == 0 {
+		kopts.MetricsPeriod = metricsPeriod
+	}
 	if spec != "" {
 		plan, err := fault.ParsePlan(spec)
 		if err != nil {
@@ -98,7 +101,11 @@ func runFaultConfig(scheme core.Scheme, spec string, opts FaultOptions, m *Meter
 	k.Spawn(vj)
 	k.Spawn(sj)
 	k.Run()
-	m.count(k)
+	config := scheme.String() + "/clean"
+	if spec != "" {
+		config = scheme.String() + "/faulted"
+	}
+	m.observe(k, config)
 	return FaultRun{Victim: vj.ResponseTime(), Steady: sj.ResponseTime()}
 }
 

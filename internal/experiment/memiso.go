@@ -52,6 +52,9 @@ func RunMemIso(opts MemIsoOptions) MemIsoResult {
 }
 
 func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions, m *Meter) MemIsoRun {
+	if opts.Kernel.MetricsPeriod == 0 {
+		opts.Kernel.MetricsPeriod = metricsPeriod
+	}
 	k := kernel.New(machine.MemoryIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("spu1", 1)
 	spu2 := k.NewSPU("spu2", 1)
@@ -69,7 +72,11 @@ func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions, m 
 		k.Spawn(j)
 	}
 	k.Run()
-	m.count(k)
+	config := scheme.String() + "/balanced"
+	if unbalanced {
+		config = scheme.String() + "/unbalanced"
+	}
+	m.observe(k, config)
 	ts := make([]sim.Time, len(jobs2))
 	for i, j := range jobs2 {
 		ts[i] = j.ResponseTime()

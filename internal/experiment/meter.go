@@ -12,6 +12,9 @@ type Meter struct {
 	// Events is the number of simulation events dispatched, summed over
 	// every engine the runner booted.
 	Events uint64
+	// Metrics carries one summary per kernel that ran with
+	// observability on, in run order (see Meter.observe).
+	Metrics []MetricSummary
 }
 
 // count folds a finished kernel's engine dispatch total into the meter.

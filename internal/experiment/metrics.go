@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"perfiso/internal/kernel"
+	"perfiso/internal/metrics"
+	"perfiso/internal/stats"
+)
+
+// metricsPeriod is the sampling period the instrumented experiments use
+// when the caller did not pick one. Sampling only reads machine state,
+// so turning it on never changes a single table cell.
+const metricsPeriod = metrics.DefaultPeriod
+
+// MetricSummary is one experiment configuration's headline isolation
+// metrics, distilled from the kernel's metrics registry: how often the
+// scheduler took loaned CPUs back, how long owners waited for them
+// (the §3.1 revocation cost), and how the CPU time actually divided
+// between the SPUs. Every field is simulation-derived and deterministic
+// — no wall-clock value appears, so the same run always summarizes to
+// the same bytes.
+type MetricSummary struct {
+	// Config names the run within its experiment, e.g. "PIso" or
+	// "SMP/unbalanced".
+	Config string `json:"config"`
+	// Loans counts CPUs lent to SPUs beyond their entitlement.
+	Loans int64 `json:"loans"`
+	// Revocations counts loans the scheduler took back for an owner.
+	Revocations int64 `json:"revocations"`
+	// RevocationP99Ms is the 99th-percentile time an owner's thread
+	// waited for a revoked CPU, in milliseconds (0 when no revocations).
+	RevocationP99Ms float64 `json:"revocation_p99_ms"`
+	// CPUShare is each user SPU's fraction of the total user CPU time.
+	CPUShare map[string]float64 `json:"cpu_share"`
+
+	// jsonl holds the run's full registry export for the -metrics
+	// artifact; unexported so bench JSON stays a summary.
+	jsonl string
+}
+
+// summarizeMetrics distills a finished kernel's registry. ok is false
+// when the kernel ran without observability.
+func summarizeMetrics(k *kernel.Kernel, config string) (MetricSummary, bool) {
+	reg := k.Metrics()
+	if reg == nil {
+		return MetricSummary{}, false
+	}
+	s := MetricSummary{Config: config, CPUShare: make(map[string]float64)}
+	for _, c := range reg.Counters() {
+		switch c.Name {
+		case metrics.KeySchedLoans:
+			s.Loans += c.Value()
+		case metrics.KeySchedRevocations:
+			s.Revocations += c.Value()
+		}
+	}
+	var lat []float64
+	for _, d := range reg.Distributions() {
+		if d.Name == metrics.KeySchedRevokeLatency {
+			lat = append(lat, d.Values()...)
+		}
+	}
+	if len(lat) > 0 {
+		s.RevocationP99Ms = stats.Quantile(lat, 0.99) * 1e3
+	}
+	var total float64
+	sch := k.Scheduler()
+	users := k.SPUs().Users()
+	for _, u := range users {
+		if t := sch.PerSPUTime[u.ID()]; t != nil {
+			total += t.Seconds()
+		}
+	}
+	for _, u := range users {
+		var sec float64
+		if t := sch.PerSPUTime[u.ID()]; t != nil {
+			sec = t.Seconds()
+		}
+		if total > 0 {
+			s.CPUShare[u.Name()] = sec / total
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf, k.MetricNames()); err == nil {
+		s.jsonl = buf.String()
+	}
+	return s, true
+}
+
+// metricsHeader introduces one configuration's block in the -metrics
+// artifact. Fixed field order keeps the bytes deterministic.
+type metricsHeader struct {
+	Type            string             `json:"type"`
+	Experiment      string             `json:"experiment"`
+	Config          string             `json:"config"`
+	Loans           int64              `json:"loans"`
+	Revocations     int64              `json:"revocations"`
+	RevocationP99Ms float64            `json:"revocation_p99_ms"`
+	CPUShare        map[string]float64 `json:"cpu_share"`
+}
+
+// MetricsJSONL writes the per-experiment metrics artifact: for every
+// instrumented configuration, one "experiment" header line carrying the
+// summary, followed by that run's full registry export (the same lines
+// pisosim -metrics writes). Results appear in registry order and no
+// wall-clock value is included, so the artifact is byte-identical at
+// any -parallel level.
+func MetricsJSONL(results []Result, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		for _, ms := range r.Output.Metrics {
+			if err := enc.Encode(metricsHeader{
+				Type: "experiment", Experiment: r.Spec.ID, Config: ms.Config,
+				Loans: ms.Loans, Revocations: ms.Revocations,
+				RevocationP99Ms: ms.RevocationP99Ms, CPUShare: ms.CPUShare,
+			}); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, ms.jsonl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// observe folds a finished kernel's dispatch total into the meter and,
+// when the kernel ran with observability on, appends its metric
+// summary under the given configuration name.
+func (m *Meter) observe(k *kernel.Kernel, config string) {
+	m.count(k)
+	if s, ok := summarizeMetrics(k, config); ok {
+		m.Metrics = append(m.Metrics, s)
+	}
+}

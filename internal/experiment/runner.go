@@ -31,6 +31,9 @@ type Output struct {
 	// Events is the total number of simulation events the experiment
 	// dispatched, for events/sec reporting.
 	Events uint64
+	// Metrics holds per-configuration observability summaries for the
+	// experiments that run with the metrics registry on.
+	Metrics []MetricSummary
 }
 
 // Rows flattens every section table into machine-readable headline rows
@@ -101,14 +104,14 @@ func Registry() []Spec {
 			ID: "fig5", Title: "CPU isolation (Figure 5)",
 			Run: func() Output {
 				r := RunCPUIso(CPUIsoOptions{})
-				return Output{Sections: []Section{{ID: "fig5", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "fig5", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics}
 			},
 		},
 		{
 			ID: "fig7", Title: "Memory isolation (Figure 7)",
 			Run: func() Output {
 				r := RunMemIso(MemIsoOptions{})
-				return Output{Sections: []Section{{ID: "fig7", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "fig7", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics}
 			},
 		},
 		{
@@ -135,7 +138,7 @@ func Registry() []Spec {
 					s.Bars.Labels = append(s.Bars.Labels, row.Scheme.String()+" V", row.Scheme.String()+" S")
 					s.Bars.Values = append(s.Bars.Values, row.Victim, row.Steady)
 				}
-				return Output{Sections: []Section{s}, Events: r.Events}
+				return Output{Sections: []Section{s}, Events: r.Events, Metrics: r.Metrics}
 			},
 		},
 		{
@@ -306,6 +309,10 @@ type BenchExperiment struct {
 	Events       uint64      `json:"events"`
 	EventsPerSec float64     `json:"events_per_sec"`
 	Rows         []stats.Row `json:"rows"`
+	// Metrics embeds the per-configuration observability summaries
+	// (revocation latency p99, per-SPU CPU share) for instrumented
+	// experiments.
+	Metrics []MetricSummary `json:"metrics,omitempty"`
 }
 
 // BenchReport assembles a Bench from finished results.
@@ -323,6 +330,7 @@ func BenchReport(results []Result, parallel int, short bool, wall time.Duration)
 			WallSeconds: r.Wall.Seconds(),
 			Events:      r.Output.Events,
 			Rows:        r.Output.Rows(),
+			Metrics:     r.Output.Metrics,
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(e.Events) / s

@@ -5,6 +5,7 @@ import (
 
 	"perfiso/internal/disk"
 	"perfiso/internal/mem"
+	"perfiso/internal/metrics"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
 	"perfiso/internal/trace"
@@ -22,6 +23,8 @@ type Machine struct {
 	// Trace, when non-nil, receives a trace.Fault event per injection
 	// and recovery, so tests can assert why a run degraded.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, counts injections and recoveries.
+	Metrics *metrics.Registry
 }
 
 // Stats counts injector activity.
@@ -85,6 +88,7 @@ func (in *Injector) check(e Event) error {
 
 func (in *Injector) apply(e Event, removed *int) {
 	in.Stat.Injected++
+	in.m.Metrics.Counter(metrics.KeyFaultInjected, metrics.NoSPU).Inc()
 	switch e.Kind {
 	case DiskSlow:
 		in.m.Disks[e.Target].SetSlow(e.Severity)
@@ -110,6 +114,7 @@ func (in *Injector) apply(e Event, removed *int) {
 
 func (in *Injector) revert(e Event, removed *int) {
 	in.Stat.Reverted++
+	in.m.Metrics.Counter(metrics.KeyFaultReverted, metrics.NoSPU).Inc()
 	switch e.Kind {
 	case DiskSlow:
 		in.m.Disks[e.Target].SetSlow(1)

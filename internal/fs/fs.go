@@ -4,6 +4,7 @@ import (
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/mem"
+	"perfiso/internal/metrics"
 	"perfiso/internal/sim"
 )
 
@@ -77,6 +78,9 @@ type FileSystem struct {
 	DirtyHighWater int
 
 	Stat Stats
+	// Metrics, when non-nil, receives per-SPU retry and backoff-time
+	// counters for degraded-disk resubmissions. Nil costs nothing.
+	Metrics *metrics.Registry
 }
 
 // New creates a file system drawing cache frames from mm.
@@ -141,6 +145,8 @@ func (fs *FileSystem) submit(d *disk.Disk, r *disk.Request) {
 			if delay < maxRetryBackoff {
 				delay *= 2
 			}
+			fs.Metrics.Counter(metrics.KeyFSRetries, rr.SPU).Inc()
+			fs.Metrics.Counter(metrics.KeyFSBackoffNS, rr.SPU).AddTime(wait)
 			fs.eng.CallAfter(wait, "fs.retry", func() { d.Submit(rr) })
 			return
 		}

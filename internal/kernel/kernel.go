@@ -7,6 +7,7 @@ package kernel
 
 import (
 	"fmt"
+	"io"
 
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
@@ -14,6 +15,7 @@ import (
 	"perfiso/internal/fs"
 	"perfiso/internal/machine"
 	"perfiso/internal/mem"
+	"perfiso/internal/metrics"
 	"perfiso/internal/proc"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
@@ -70,6 +72,11 @@ type Options struct {
 	// TimelinePeriod, when positive, samples each user SPU's CPU and
 	// memory usage at that period into a Timeline (pisosim -timeline).
 	TimelinePeriod sim.Time
+	// MetricsPeriod, when positive, turns on the observability layer:
+	// a per-SPU metrics registry whose series (CPU, memory, disk usage
+	// per SPU) are sampled at this period on the simulation clock and
+	// exportable as JSONL or a Chrome trace (see internal/metrics).
+	MetricsPeriod sim.Time
 	// Horizon aborts the simulation if processes are still alive after
 	// this much simulated time (default 3600 s) — a hang detector.
 	Horizon sim.Time
@@ -128,6 +135,7 @@ type Kernel struct {
 	tracer   *trace.Tracer
 	timeline *stats.Timeline
 	injector *fault.Injector
+	metrics  *metrics.Registry
 }
 
 // New builds (but does not boot) a kernel on the given hardware with
@@ -172,6 +180,12 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 		k.tracer = trace.New(eng, opts.TraceCapacity)
 		k.sch.Trace = k.tracer
 		k.mm.Trace = k.tracer
+	}
+	if opts.MetricsPeriod > 0 {
+		k.metrics = metrics.New(eng, opts.MetricsPeriod)
+		k.sch.Metrics = k.metrics
+		k.mm.Metrics = k.metrics
+		k.fsys.Metrics = k.metrics
 	}
 	k.mm.SetPageout(k.pageout)
 	// A little kernel memory: code and data pinned at boot (4 MB),
@@ -297,6 +311,11 @@ func (k *Kernel) Boot() {
 		k.tickers = append(k.tickers,
 			k.eng.Every(k.opts.TimelinePeriod, "kernel.timeline", k.sampleTimeline))
 	}
+	if k.metrics != nil {
+		k.registerSeries()
+		k.tickers = append(k.tickers,
+			k.eng.Every(k.metrics.Period(), "kernel.metrics", k.metrics.Sample))
+	}
 	if !k.opts.Faults.Empty() {
 		k.injector = fault.NewInjector(k.eng, fault.Machine{
 			Sched:     k.sch,
@@ -304,8 +323,103 @@ func (k *Kernel) Boot() {
 			Disks:     k.disks,
 			Rebalance: k.Rebalance,
 			Trace:     k.tracer,
+			Metrics:   k.metrics,
 		}, k.opts.Faults, k.rng.Fork())
 	}
+}
+
+// registerSeries installs the per-SPU sampled series and machine-wide
+// gauges at boot, once the SPUs exist. Everything registered here only
+// reads machine state, so sampling never perturbs simulation results.
+func (k *Kernel) registerSeries() {
+	for _, s := range k.spus.Users() {
+		s := s
+		id := s.ID()
+		k.metrics.Series(metrics.KeyCPUUsed, id, func() float64 {
+			return s.Used(core.CPU)
+		})
+		k.metrics.Series(metrics.KeyCPUTime, id, func() float64 {
+			if pt := k.sch.PerSPUTime[id]; pt != nil {
+				return pt.Seconds()
+			}
+			return 0
+		})
+		k.metrics.Series(metrics.KeyMemResident, id, func() float64 {
+			return s.Used(core.Memory)
+		})
+		k.metrics.Series(metrics.KeyMemLoaned, id, func() float64 {
+			if loan := s.Allowed(core.Memory) - s.Entitled(core.Memory); loan > 0 {
+				return loan
+			}
+			return 0
+		})
+		k.metrics.Series(metrics.KeyDiskQueue, id, func() float64 {
+			n := 0
+			for _, d := range k.disks {
+				n += d.QueuedFor(id)
+			}
+			return float64(n)
+		})
+		k.metrics.Series(metrics.KeyDiskSectors, id, func() float64 {
+			var n int64
+			for _, d := range k.disks {
+				n += d.SectorsFor(id)
+			}
+			return float64(n)
+		})
+	}
+	k.metrics.Gauge(metrics.KeyMemFree, metrics.NoSPU, func() float64 {
+		return float64(k.mm.FreePages())
+	})
+	k.metrics.Gauge(metrics.KeyDiskWaitMean, metrics.NoSPU, func() float64 {
+		var w float64
+		for _, d := range k.disks {
+			w += d.Total.Wait.Mean()
+		}
+		return w / float64(len(k.disks))
+	})
+	k.metrics.Gauge(metrics.KeyDiskServiceMean, metrics.NoSPU, func() float64 {
+		var w float64
+		for _, d := range k.disks {
+			w += d.Total.Service.Mean()
+		}
+		return w / float64(len(k.disks))
+	})
+}
+
+// Metrics returns the metrics registry, or nil when observability is off.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// MetricNames maps every SPU id (kernel, shared, users) to its name for
+// metric and trace exports.
+func (k *Kernel) MetricNames() metrics.Names {
+	names := make(metrics.Names, len(k.spus.All()))
+	for _, s := range k.spus.All() {
+		names[s.ID()] = s.Name()
+	}
+	return names
+}
+
+// WriteMetrics writes the registry as deterministic JSONL (one metric
+// per line). A no-op when observability is off.
+func (k *Kernel) WriteMetrics(w io.Writer) error {
+	return k.metrics.WriteJSONL(w, k.MetricNames())
+}
+
+// WriteChromeTrace writes a Chrome trace-event file: one counter track
+// per SPU from the sampled series, plus the decision tracer's events as
+// instant markers when tracing is on. A no-op when observability is off.
+func (k *Kernel) WriteChromeTrace(w io.Writer) error {
+	return k.metrics.WriteChromeTrace(w, k.tracer.Events(), k.MetricNames())
+}
+
+// UsageTable summarizes the sampled per-SPU series, or nil when
+// observability is off.
+func (k *Kernel) UsageTable() *stats.Table {
+	if k.metrics == nil {
+		return nil
+	}
+	return k.metrics.UsageTable(k.MetricNames())
 }
 
 // Injector returns the fault injector, or nil when no faults are
@@ -467,6 +581,8 @@ func (k *Kernel) submitRetry(d *disk.Disk, r *disk.Request) {
 			if delay < max {
 				delay *= 2
 			}
+			k.metrics.Counter(metrics.KeySwapRetries, rr.SPU).Inc()
+			k.metrics.Counter(metrics.KeySwapBackoffNS, rr.SPU).AddTime(wait)
 			k.tracer.Emitf(trace.Fault, fmt.Sprintf("spu%d", rr.SPU), "swap-retry",
 				"%s of %d sectors failed, retrying in %v", rr.Kind, rr.Count, wait)
 			k.eng.CallAfter(wait, "kernel.swap-retry", func() { d.Submit(rr) })

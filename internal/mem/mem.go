@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/metrics"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
@@ -127,6 +128,9 @@ type Manager struct {
 	Stat Stats
 	// Trace, when non-nil, records evictions and policy decisions.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives per-SPU reclaim, dirty-write, and
+	// pageout-retry counters. Nil costs nothing.
+	Metrics *metrics.Registry
 }
 
 // NewManager creates a memory manager with the given number of page

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/metrics"
 	"perfiso/internal/sim"
 	"perfiso/internal/trace"
 )
@@ -177,6 +178,7 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 		return false
 	}
 	m.Stat.Evictions++
+	m.Metrics.Counter(metrics.KeyMemReclaims, victim.SPU).Inc()
 	m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "evict",
 		"%s page, dirty=%v", victim.Kind, victim.Dirty)
 	if victim.Owner != nil {
@@ -184,6 +186,7 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 	}
 	if victim.Dirty && m.pageout != nil {
 		m.Stat.DirtyWrites++
+		m.Metrics.Counter(metrics.KeyMemDirtyWrites, victim.SPU).Inc()
 		victim.evicting = true
 		m.unlink(victim)
 		m.inFlight++
@@ -199,6 +202,8 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 		onDone = func(ok bool) {
 			if !ok {
 				m.Stat.PageoutRetries++
+				m.Metrics.Counter(metrics.KeyMemPageoutRetries, victim.SPU).Inc()
+				m.Metrics.Counter(metrics.KeyMemBackoffNS, victim.SPU).AddTime(delay)
 				m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "pageout-retry",
 					"write-back failed, retrying in %v", delay)
 				d := delay
@@ -218,6 +223,7 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 	}
 	if victim.Dirty {
 		m.Stat.DirtyWrites++
+		m.Metrics.Counter(metrics.KeyMemDirtyWrites, victim.SPU).Inc()
 	}
 	m.Free(victim)
 	return true

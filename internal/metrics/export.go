@@ -1,0 +1,334 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+	"perfiso/internal/trace"
+)
+
+// Names maps an SPU id to its display name for exports. NoSPU and
+// unknown ids render as "machine".
+type Names map[core.SPUID]string
+
+func (n Names) lookup(spu core.SPUID) string {
+	if name, ok := n[spu]; ok {
+		return name
+	}
+	return "machine"
+}
+
+// sorted returns the named SPU ids in ascending order — the iteration
+// order every exporter uses, so output never depends on map order.
+func (n Names) sorted() []core.SPUID {
+	ids := make([]core.SPUID, 0, len(n))
+	for id := range n {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// JSONL line shapes. One struct per metric kind keeps the field order
+// (and therefore the bytes) fixed.
+type counterLine struct {
+	Type    string `json:"type"`
+	Name    string `json:"name"`
+	SPU     int    `json:"spu"`
+	SPUName string `json:"spu_name"`
+	Value   int64  `json:"value"`
+}
+
+type gaugeLine struct {
+	Type    string  `json:"type"`
+	Name    string  `json:"name"`
+	SPU     int     `json:"spu"`
+	SPUName string  `json:"spu_name"`
+	Value   float64 `json:"value"`
+}
+
+type distLine struct {
+	Type    string  `json:"type"`
+	Name    string  `json:"name"`
+	SPU     int     `json:"spu"`
+	SPUName string  `json:"spu_name"`
+	N       int     `json:"n"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+}
+
+type seriesLine struct {
+	Type     string    `json:"type"`
+	Name     string    `json:"name"`
+	SPU      int       `json:"spu"`
+	SPUName  string    `json:"spu_name"`
+	PeriodMS float64   `json:"period_ms"`
+	TimesMS  []float64 `json:"t_ms"`
+	Values   []float64 `json:"v"`
+}
+
+// WriteJSONL writes every registered metric as one JSON object per
+// line: counters, then gauges (evaluated now), then distributions
+// (summarized), then series (full samples). Registration order is
+// deterministic, struct field order is fixed, and no wall-clock value
+// appears, so the same run always produces the same bytes.
+func (r *Registry) WriteJSONL(w io.Writer, names Names) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, c := range r.counters {
+		if err := enc.Encode(counterLine{
+			Type: "counter", Name: c.Name, SPU: int(c.SPU),
+			SPUName: names.lookup(c.SPU), Value: c.Value(),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.gauges {
+		if err := enc.Encode(gaugeLine{
+			Type: "gauge", Name: g.Name, SPU: int(g.SPU),
+			SPUName: names.lookup(g.SPU), Value: g.Value(),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, d := range r.dists {
+		if err := enc.Encode(distLine{
+			Type: "distribution", Name: d.Name, SPU: int(d.SPU),
+			SPUName: names.lookup(d.SPU), N: d.N(), Mean: d.Mean(),
+			P50: d.Quantile(0.50), P99: d.Quantile(0.99), Max: d.Quantile(1),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.series {
+		line := seriesLine{
+			Type: "series", Name: s.Name, SPU: int(s.SPU),
+			SPUName:  names.lookup(s.SPU),
+			PeriodMS: float64(r.period) / float64(sim.Millisecond),
+			TimesMS:  make([]float64, len(s.ts)),
+			Values:   s.vs,
+		}
+		for i, t := range s.ts {
+			line.TimesMS[i] = float64(t) / float64(sim.Millisecond)
+		}
+		if len(line.Values) == 0 {
+			line.TimesMS = []float64{}
+			line.Values = []float64{}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chrome trace-event shapes (the subset of the trace_event format we
+// emit; see the Trace Event Format spec). pid selects the track: pid 0
+// is the machine, pid int(spu)+1 is one track per SPU.
+type chromeMeta struct {
+	Name string         `json:"name"`
+	PH   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args chromeMetaArgs `json:"args"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeCounter struct {
+	Name string            `json:"name"`
+	PH   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	TS   float64           `json:"ts"`
+	Args chromeCounterArgs `json:"args"`
+}
+
+type chromeCounterArgs struct {
+	Value float64 `json:"value"`
+}
+
+type chromeInstant struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	PH    string            `json:"ph"`
+	Scope string            `json:"s"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	TS    float64           `json:"ts"`
+	Args  chromeInstantArgs `json:"args"`
+}
+
+type chromeInstantArgs struct {
+	Subject string `json:"subject"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// pid maps an SPU to its Chrome-trace process track. Track 0 is the
+// machine; SPU n (including the kernel SPU 0) gets track n+1.
+func pid(spu core.SPUID) int {
+	if spu == NoSPU {
+		return 0
+	}
+	return int(spu) + 1
+}
+
+// usec converts simulation time to the microsecond timestamps the
+// trace-event format expects.
+func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteChromeTrace writes a Chrome trace-event JSON file openable in
+// Perfetto or chrome://tracing. Every registered series becomes a
+// counter track on its SPU's process, and the kernel tracer's events
+// (pass Tracer.Events(), or nil) become instant markers on the SPU they
+// concern. Output is one event per line for diffability and is
+// byte-deterministic for a given run.
+func (r *Registry) WriteChromeTrace(w io.Writer, events []trace.Event, names Names) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+
+	// Track names: the machine plus every SPU, ascending by id.
+	if err := emit(chromeMeta{Name: "process_name", PH: "M", PID: 0,
+		Args: chromeMetaArgs{Name: "machine"}}); err != nil {
+		return err
+	}
+	byName := make(map[string]core.SPUID, len(names))
+	for _, id := range names.sorted() {
+		byName[names[id]] = id
+		if err := emit(chromeMeta{Name: "process_name", PH: "M", PID: pid(id),
+			Args: chromeMetaArgs{Name: names[id]}}); err != nil {
+			return err
+		}
+	}
+
+	// Sampled series as counter tracks.
+	for _, s := range r.series {
+		for i := range s.ts {
+			if err := emit(chromeCounter{
+				Name: s.Name, PH: "C", PID: pid(s.SPU),
+				TS: usec(s.ts[i]), Args: chromeCounterArgs{Value: s.vs[i]},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Tracer events as instant markers. Events whose subject is an SPU
+	// name land on that SPU's track; everything else goes to the
+	// machine track.
+	for _, e := range events {
+		p := 0
+		if id, ok := byName[e.Subject]; ok {
+			p = pid(id)
+		}
+		if err := emit(chromeInstant{
+			Name: e.Action, Cat: e.Kind.String(), PH: "i", Scope: "p",
+			PID: p, TS: usec(e.At),
+			Args: chromeInstantArgs{Subject: e.Subject, Detail: e.Detail},
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// UsageTimeline builds the paper's figure-style per-SPU usage rows from
+// the sampled series: one "cpu", one "mem", and one "disk" row per SPU
+// that has the corresponding series. Disk rows are per-interval sector
+// deltas (bandwidth), not the cumulative count.
+func (r *Registry) UsageTimeline(names Names) *stats.Timeline {
+	tl := stats.NewTimeline()
+	if r == nil {
+		return tl
+	}
+	for _, id := range names.sorted() {
+		name := names[id]
+		if s := r.FindSeries(KeyCPUUsed, id); s != nil {
+			for _, v := range s.vs {
+				tl.Record("cpu "+name, v)
+			}
+		}
+		if s := r.FindSeries(KeyMemResident, id); s != nil {
+			for _, v := range s.vs {
+				tl.Record("mem "+name, v)
+			}
+		}
+		if s := r.FindSeries(KeyDiskSectors, id); s != nil {
+			prev := 0.0
+			for _, v := range s.vs {
+				tl.Record("disk "+name, v-prev)
+				prev = v
+			}
+		}
+	}
+	return tl
+}
+
+// UsageTable summarizes the sampled series per SPU: mean and peak CPUs
+// in use, mean and peak resident MB-equivalent (whatever unit the
+// series was registered in), and total disk sectors moved.
+func (r *Registry) UsageTable(names Names) *stats.Table {
+	t := stats.NewTable("Per-SPU usage (sampled)",
+		"SPU", "cpu mean", "cpu peak", "mem mean", "mem peak", "disk sectors")
+	if r == nil {
+		return t
+	}
+	for _, id := range names.sorted() {
+		name := names[id]
+		if r.FindSeries(KeyCPUUsed, id) == nil && r.FindSeries(KeyMemResident, id) == nil {
+			continue // no series sampled for this SPU (kernel, shared)
+		}
+		cpuMean, cpuPeak := meanPeak(r.FindSeries(KeyCPUUsed, id))
+		memMean, memPeak := meanPeak(r.FindSeries(KeyMemResident, id))
+		var sectors float64
+		if s := r.FindSeries(KeyDiskSectors, id); s != nil && len(s.vs) > 0 {
+			sectors = s.vs[len(s.vs)-1]
+		}
+		t.Addf(name, cpuMean, cpuPeak, memMean, memPeak, int64(sectors))
+	}
+	return t
+}
+
+func meanPeak(s *Series) (mean, peak float64) {
+	if s == nil || len(s.vs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, v := range s.vs {
+		sum += v
+		if v > peak {
+			peak = v
+		}
+	}
+	return sum / float64(len(s.vs)), peak
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/metrics"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
@@ -99,6 +100,9 @@ type Scheduler struct {
 	PerSPUTime map[core.SPUID]*sim.Time
 	// Trace, when non-nil, records loans and revocations.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives per-SPU loan/revocation counters
+	// and the revocation-latency distribution. Nil costs nothing.
+	Metrics *metrics.Registry
 
 	gangs []*Gang
 
@@ -419,6 +423,11 @@ func (s *Scheduler) tryDispatchThread(t *Thread) {
 			if c.cur != nil && c.loan && c.home == t.SPU {
 				s.preempt(c)
 				s.Stat.Revocations++
+				s.Metrics.Counter(metrics.KeySchedRevocations, c.home).Inc()
+				// IPI revocation fires the moment the home thread wakes,
+				// so the observed latency is how long it already waited.
+				s.Metrics.Distribution(metrics.KeySchedRevokeLatency, c.home).
+					ObserveTime(s.eng.Now() - t.readySince)
 				c.lastRevoke = s.eng.Now()
 				c.everRevoked = true
 				s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
@@ -534,6 +543,7 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 	s.Stat.Dispatches++
 	if loan {
 		s.Stat.Loans++
+		s.Metrics.Counter(metrics.KeySchedLoans, t.SPU).Inc()
 		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "loan",
 			"thread %s of spu%d on cpu homed at spu%d", t.Name, t.SPU, c.home)
 	}
@@ -673,6 +683,20 @@ func (s *Scheduler) Tick() {
 		}
 		s.preempt(c)
 		s.Stat.Revocations++
+		s.Metrics.Counter(metrics.KeySchedRevocations, c.home).Inc()
+		// Tick-granularity revocation latency: how long the home SPU's
+		// oldest runnable thread has been waiting for its CPU back —
+		// the ≤10 ms bound §3.1 argues for.
+		if s.Metrics != nil {
+			oldest := s.eng.Now()
+			for _, t := range s.runq[c.home] {
+				if t.readySince < oldest {
+					oldest = t.readySince
+				}
+			}
+			s.Metrics.Distribution(metrics.KeySchedRevokeLatency, c.home).
+				ObserveTime(s.eng.Now() - oldest)
+		}
 		c.lastRevoke = s.eng.Now()
 		c.everRevoked = true
 		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",

@@ -84,3 +84,56 @@ func TestQuantile(t *testing.T) {
 		t.Fatal("Quantile mutated its input")
 	}
 }
+
+// resample at exact bucket boundaries: when the sample count is an
+// integer multiple of the width, every bucket averages the same span
+// and no sample is double-counted or skipped.
+func TestResampleExactBucketBoundaries(t *testing.T) {
+	// 12 samples into 4 buckets: spans of exactly 3.
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	got := resample(vs, 4)
+	want := []float64{2, 5, 8, 11}
+	if len(got) != len(want) {
+		t.Fatalf("resample returned %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g (exact span mean)", i, got[i], want[i])
+		}
+	}
+	// Width equal to the sample count is the identity.
+	same := resample(vs, len(vs))
+	for i := range vs {
+		if same[i] != vs[i] {
+			t.Fatalf("width==len changed sample %d: %g -> %g", i, vs[i], same[i])
+		}
+	}
+	// Non-divisible counts still cover every sample exactly once: the
+	// bucket-mean total must equal the sample total scaled by spans.
+	odd := []float64{1, 1, 1, 1, 1, 1, 1}
+	for _, v := range resample(odd, 3) {
+		if v != 1 {
+			t.Fatalf("uneven spans of a constant series averaged to %g", v)
+		}
+	}
+}
+
+// Empty and one-sample series are valid timelines: nothing to average,
+// nothing to divide by zero.
+func TestResampleEmptyAndOneSample(t *testing.T) {
+	if got := resample(nil, 10); len(got) != 0 {
+		t.Fatalf("resampling nil produced %v", got)
+	}
+	if got := resample([]float64{7}, 10); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("one sample resampled to %v", got)
+	}
+	tl := NewTimeline()
+	tl.Record("solo", 7)
+	out := tl.Render(10)
+	if !strings.Contains(out, "solo") || !strings.Contains(out, "peak 7.00") {
+		t.Fatalf("one-sample row rendered wrong: %q", out)
+	}
+	if tl.Samples("missing") != nil {
+		t.Fatal("unknown label should have no samples")
+	}
+}

@@ -73,12 +73,13 @@ func (e Event) String() string {
 // Tracer is a bounded ring of events. The zero value is unusable; use
 // New. A nil Tracer is a valid no-op sink.
 type Tracer struct {
-	eng    *sim.Engine
-	ring   []Event
-	next   int
-	filled bool
-	counts [NumKinds]int64
-	mask   [NumKinds]bool
+	eng     *sim.Engine
+	ring    []Event
+	next    int
+	filled  bool
+	dropped int64
+	counts  [NumKinds]int64
+	mask    [NumKinds]bool
 }
 
 // New creates a tracer keeping the most recent capacity events (1024 if
@@ -123,6 +124,9 @@ func (t *Tracer) Emit(kind Kind, subject, action, detail string) {
 	if !t.mask[kind] {
 		return
 	}
+	if t.filled {
+		t.dropped++ // the ring is full: this write evicts the oldest event
+	}
 	t.ring[t.next] = Event{At: t.eng.Now(), Kind: kind, Subject: subject, Action: action, Detail: detail}
 	t.next++
 	if t.next == len(t.ring) {
@@ -149,6 +153,17 @@ func (t *Tracer) Len() int {
 		return len(t.ring)
 	}
 	return t.next
+}
+
+// Dropped returns how many stored events the ring has overwritten —
+// the events Emit accepted but Events can no longer return. A non-zero
+// value means the capacity was too small for the run; it does not
+// include events a Kind filter excluded on purpose.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Count returns how many events of the kind were emitted (including
@@ -185,8 +200,12 @@ func (t *Tracer) Find(action string) []Event {
 	return out
 }
 
-// Dump writes the stored events to w, one line each.
+// Dump writes the stored events to w, one line each, and reports how
+// many earlier events the ring dropped so truncation is never silent.
 func (t *Tracer) Dump(w io.Writer) {
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped; raise the trace capacity to keep them)\n", d)
+	}
 	for _, e := range t.Events() {
 		fmt.Fprintln(w, e)
 	}

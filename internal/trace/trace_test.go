@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -119,5 +120,70 @@ func TestDefaultCapacity(t *testing.T) {
 	}
 	if tr.Len() != 1024 {
 		t.Fatalf("default capacity = %d", tr.Len())
+	}
+}
+
+// Ring overwrites must never be silent: Dropped counts them and Dump
+// announces the truncation.
+func TestDroppedCountsOverwrites(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer reports drops")
+	}
+	tr := New(sim.NewEngine(), 4)
+	for i := 0; i < 4; i++ {
+		tr.Emit(Proc, "p", "step", "")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before the ring wrapped", tr.Dropped())
+	}
+	for i := 0; i < 6; i++ {
+		tr.Emit(Proc, "p", "step", "")
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if !strings.Contains(sb.String(), "6 earlier events dropped") {
+		t.Fatalf("Dump does not announce the drop:\n%s", sb.String())
+	}
+	if strings.Count(sb.String(), "\n") != 5 { // 4 events + 1 notice
+		t.Fatalf("want 5 lines:\n%s", sb.String())
+	}
+}
+
+// Events a Kind filter excludes are not "dropped": they were never
+// accepted for storage, and Count already accounts for them.
+func TestDroppedIgnoresFilteredKinds(t *testing.T) {
+	tr := New(sim.NewEngine(), 2)
+	tr.Only(Mem)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Sched, "c", "loan", "")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("filtered events counted as dropped: %d", tr.Dropped())
+	}
+}
+
+// Every defined kind has a distinct lowercase name, and out-of-range
+// values render as kind(N) instead of panicking or aliasing.
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d renders as %q", k, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	for _, k := range []Kind{NumKinds, Kind(99), Kind(-1)} {
+		want := fmt.Sprintf("kind(%d)", int(k))
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
 	}
 }

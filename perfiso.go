@@ -31,6 +31,8 @@
 package perfiso
 
 import (
+	"io"
+
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/experiment"
@@ -257,6 +259,17 @@ func (s *System) DiskStats(i int) (requests int64, meanWait, meanPos float64) {
 	d := s.k.Disk(i)
 	return d.Total.Requests, d.Total.Wait.Mean(), d.Total.Pos.Mean()
 }
+
+// WriteMetrics writes the run's metrics registry as deterministic JSONL,
+// one metric per line. Enable collection with Options.MetricsPeriod; a
+// no-op when observability is off.
+func (s *System) WriteMetrics(w io.Writer) error { return s.k.WriteMetrics(w) }
+
+// WriteChromeTrace writes the run as a Chrome trace-event file openable
+// in Perfetto or chrome://tracing, one counter track per SPU. Enable
+// collection with Options.MetricsPeriod; a no-op when observability is
+// off.
+func (s *System) WriteChromeTrace(w io.Writer) error { return s.k.WriteChromeTrace(w) }
 
 // HP97560 exposes the paper's disk model parameters.
 var HP97560 = disk.HP97560
