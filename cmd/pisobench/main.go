@@ -11,6 +11,7 @@
 // Usage:
 //
 //	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH]
+//	pisobench -soak [-soak-runs N] [-soak-seed S] [-soak-case K] [-soak-faults SPEC]
 //	pisobench -list
 package main
 
@@ -25,6 +26,8 @@ import (
 	"time"
 
 	"perfiso/internal/experiment"
+	"perfiso/internal/fault"
+	"perfiso/internal/soak"
 	"perfiso/internal/stats"
 )
 
@@ -39,6 +42,11 @@ type config struct {
 	parallel    int
 	jsonPath    string
 	metricsPath string
+	soak        bool
+	soakRuns    int
+	soakSeed    uint64
+	soakCase    int
+	soakFaults  string
 }
 
 func main() {
@@ -51,8 +59,44 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
+	flag.BoolVar(&cfg.soak, "soak", false, "run the chaos-soak harness instead of the evaluation suite")
+	flag.IntVar(&cfg.soakRuns, "soak-runs", 16, "soak: number of generated cases to run")
+	flag.Uint64Var(&cfg.soakSeed, "soak-seed", 1, "soak: sweep seed; every case derives from it deterministically")
+	flag.IntVar(&cfg.soakCase, "soak-case", -1, "soak: replay a single case index instead of sweeping")
+	flag.StringVar(&cfg.soakFaults, "soak-faults", "", "soak: override the replayed case's fault schedule (repro spec)")
 	flag.Parse()
 	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
+
+// runSoak dispatches the -soak mode: a seeded sweep, or — with
+// -soak-case — a single-case replay, optionally under the minimized
+// fault schedule a previous sweep printed.
+func runSoak(cfg config, stdout, stderr io.Writer) int {
+	if cfg.soakCase >= 0 {
+		c := soak.NewCase(cfg.soakSeed, cfg.soakCase)
+		if cfg.soakFaults != "" {
+			plan, err := fault.ParsePlan(cfg.soakFaults)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			c = c.WithFaults(plan)
+		}
+		if soak.RunOne(stdout, c) {
+			return 1
+		}
+		return 0
+	}
+	if cfg.soakFaults != "" {
+		fmt.Fprintln(stderr, "-soak-faults needs -soak-case to name the case it replays")
+		return 2
+	}
+	if failures := soak.Sweep(stdout, cfg.soakSeed, cfg.soakRuns); failures > 0 {
+		fmt.Fprintf(stderr, "soak: %d of %d cases failed\n", failures, cfg.soakRuns)
+		return 1
+	}
+	fmt.Fprintf(stderr, "soak: %d cases clean (seed %d)\n", cfg.soakRuns, cfg.soakSeed)
+	return 0
 }
 
 // run executes one pisobench invocation, writing tables to stdout and
@@ -66,6 +110,9 @@ func run(cfg config, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if cfg.soak {
+		return runSoak(cfg, stdout, stderr)
+	}
 	if cfg.compare {
 		show(experiment.RunComparison().Table())
 		return 0
@@ -96,7 +143,17 @@ func run(cfg config, stdout, stderr io.Writer) int {
 	results := experiment.RunAll(specs, cfg.parallel)
 	wall := time.Since(start)
 
+	failed := 0
 	for _, r := range results {
+		if r.Err != nil {
+			// The suite keeps going past a dead experiment; report it
+			// loudly with a focused rerun and fail the invocation at the
+			// end, after every survivor has printed.
+			failed++
+			fmt.Fprintf(stderr, "FAILED %s: %v\n  rerun just this one: pisobench -only %s\n",
+				r.Spec.ID, r.Err, r.Spec.ID)
+			continue
+		}
 		for _, sec := range r.Output.Sections {
 			// A multi-section spec matched via an alias prints only the
 			// section that alias names (-only fig3 skips fig2's table).
@@ -141,6 +198,10 @@ func run(cfg config, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "%d experiments, %d events in %.2fs wall (parallel=%d, %.2fM events/s)\n",
 		len(results), bench.Events, wall.Seconds(), cfg.parallel,
 		float64(bench.Events)/wall.Seconds()/1e6)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d of %d experiments failed\n", failed, len(results))
+		return 1
+	}
 	return 0
 }
 

@@ -89,6 +89,49 @@ func TestRunShortParallelWritesJSON(t *testing.T) {
 	}
 }
 
+// -soak runs the seeded sweep and reports a clean exit when every case
+// holds the invariants.
+func TestRunSoakSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(config{soak: true, soakRuns: 2, soakSeed: 1, soakCase: -1}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if got := strings.Count(out.String(), "soak case"); got != 2 {
+		t.Fatalf("expected 2 case lines, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(errOut.String(), "2 cases clean") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+// -soak-case replays one case, optionally under an overridden fault
+// schedule — the repro command path.
+func TestRunSoakSingleCase(t *testing.T) {
+	var out, errOut strings.Builder
+	cfg := config{soak: true, soakSeed: 1, soakCase: 0, soakFaults: "disk-slow:0:50ms:200ms:2"}
+	if code := run(cfg, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `faults="disk-slow:0:50ms:200ms:2"`) {
+		t.Fatalf("replay ignored the fault override:\n%s", out.String())
+	}
+}
+
+func TestRunSoakFaultsRequiresCase(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{soak: true, soakCase: -1, soakFaults: "disk-slow:0:1s:0s"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunSoakBadFaultSpec(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{soak: true, soakCase: 0, soakFaults: "garbage"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
 // -only through an alias prints just that section's table.
 func TestRunOnlyAliasPrintsOneSection(t *testing.T) {
 	if testing.Short() {

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -251,6 +253,23 @@ type Result struct {
 	Spec   Spec
 	Output Output
 	Wall   time.Duration
+	// Err is non-nil when the experiment panicked (an invariant
+	// violation, a kernel bug, a broken ablation); Output is then
+	// whatever partial state survived — usually empty.
+	Err error
+}
+
+// runSpec executes one spec, converting a panic — including invariant
+// auditor violations, which deliberately panic in fail-fast mode — into
+// an error carrying the experiment id and stack, so one broken
+// experiment cannot take down a whole parallel suite.
+func runSpec(s Spec) (out Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked: %v\n%s", s.ID, r, debug.Stack())
+		}
+	}()
+	return s.Run(), nil
 }
 
 // RunAll executes the specs across a bounded pool of parallel worker
@@ -280,8 +299,8 @@ func RunAll(specs []Spec, parallel int) []Result {
 			defer wg.Done()
 			for i := range idx {
 				start := time.Now()
-				out := specs[i].Run()
-				results[i] = Result{Spec: specs[i], Output: out, Wall: time.Since(start)}
+				out, err := runSpec(specs[i])
+				results[i] = Result{Spec: specs[i], Output: out, Wall: time.Since(start), Err: err}
 			}
 		}()
 	}
@@ -313,6 +332,8 @@ type BenchExperiment struct {
 	// (revocation latency p99, per-SPU CPU share) for instrumented
 	// experiments.
 	Metrics []MetricSummary `json:"metrics,omitempty"`
+	// Error is set when the experiment panicked instead of finishing.
+	Error string `json:"error,omitempty"`
 }
 
 // BenchReport assembles a Bench from finished results.
@@ -334,6 +355,9 @@ func BenchReport(results []Result, parallel int, short bool, wall time.Duration)
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(e.Events) / s
+		}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
 		}
 		b.Events += e.Events
 		b.Experiments = append(b.Experiments, e)

@@ -1,0 +1,152 @@
+package fault_test
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fault"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// bootIdle boots a faulted kernel with no workload, so tests can step
+// the clock to precise instants and inspect the degradation state
+// between fault boundaries.
+func bootIdle(t *testing.T, spec string) *kernel.Kernel {
+	t.Helper()
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(machine.FaultIsolation(), core.PIso, kernel.Options{Faults: plan})
+	k.NewSPU("a", 1)
+	k.Boot()
+	return k
+}
+
+// Overlapping faults on one resource: the most recent survivor governs,
+// and healing one overlapping fault must not silently cancel the other.
+func TestOverlappingDiskSlowStacks(t *testing.T) {
+	// A: x8 over [100ms, 900ms); B: x2 over [300ms, 500ms) nested inside.
+	k := bootIdle(t, "disk-slow:0:100ms:800ms:8,disk-slow:0:300ms:200ms:2")
+	eng := k.Engine()
+	eng.RunUntil(150 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 8 {
+		t.Fatalf("after A injected: slow = %g, want 8", got)
+	}
+	eng.RunUntil(350 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 2 {
+		t.Fatalf("while B overlaps: slow = %g, want 2 (most recent wins)", got)
+	}
+	eng.RunUntil(550 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 8 {
+		t.Fatalf("after B healed: slow = %g, want 8 (A must survive)", got)
+	}
+	eng.RunUntil(950 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 1 {
+		t.Fatalf("after A healed: slow = %g, want nominal 1", got)
+	}
+}
+
+// The reverse overlap: the earlier fault heals while the later one is
+// still active.
+func TestOverlapHealOutlivedByLaterFault(t *testing.T) {
+	// A: x8 over [100ms, 600ms); B: x2 over [200ms, 800ms).
+	k := bootIdle(t, "disk-slow:0:100ms:500ms:8,disk-slow:0:200ms:600ms:2")
+	eng := k.Engine()
+	eng.RunUntil(650 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 2 {
+		t.Fatalf("A healed under B: slow = %g, want 2", got)
+	}
+	eng.RunUntil(850 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 1 {
+		t.Fatalf("both healed: slow = %g, want 1", got)
+	}
+}
+
+// Two overlapping offline windows on the same CPU: the CPU stays down
+// until the LAST window closes, and comes back exactly once.
+func TestOverlappingCPUOfflineWindows(t *testing.T) {
+	k := bootIdle(t, "cpu-off:1:100ms:400ms,cpu-off:1:300ms:400ms")
+	eng := k.Engine()
+	eng.RunUntil(550 * sim.Millisecond) // first window closed, second open
+	if !k.Scheduler().Offline(1) {
+		t.Fatal("healing the first window brought the CPU back under the second")
+	}
+	if got := k.Scheduler().OnlineCPUs(); got != 7 {
+		t.Fatalf("online = %d, want 7", got)
+	}
+	eng.RunUntil(750 * sim.Millisecond) // both closed
+	if k.Scheduler().Offline(1) {
+		t.Fatal("CPU still offline after every window closed")
+	}
+	if got := k.Scheduler().OnlineCPUs(); got != 8 {
+		t.Fatalf("online = %d, want 8", got)
+	}
+}
+
+// Heal-before-inject at the same instant: fault A's recovery and fault
+// B's injection land on the same tick. Plan order schedules A's revert
+// first, so B's degradation must win the instant and persist.
+func TestHealBeforeInjectSameInstant(t *testing.T) {
+	k := bootIdle(t, "disk-slow:0:100ms:100ms:8,disk-slow:0:200ms:100ms:3")
+	eng := k.Engine()
+	eng.RunUntil(250 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 3 {
+		t.Fatalf("after coincident heal+inject: slow = %g, want 3", got)
+	}
+	eng.RunUntil(350 * sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 1 {
+		t.Fatalf("after B healed: slow = %g, want 1", got)
+	}
+	if in := k.Injector(); in.Stat.Injected != 2 || in.Stat.Reverted != 2 {
+		t.Fatalf("stats = %+v, want 2 injected / 2 reverted", in.Stat)
+	}
+}
+
+// A fault at t=0 applies before any workload runs.
+func TestFaultAtTimeZero(t *testing.T) {
+	k := bootIdle(t, "disk-slow:0:0s:100ms:2,cpu-off:3:0s:100ms")
+	eng := k.Engine()
+	eng.RunUntil(sim.Millisecond)
+	if got := k.Disk(0).Slow(); got != 2 {
+		t.Fatalf("t=0 disk fault not applied: slow = %g", got)
+	}
+	if !k.Scheduler().Offline(3) {
+		t.Fatal("t=0 cpu-off not applied")
+	}
+	eng.RunUntil(150 * sim.Millisecond)
+	if k.Disk(0).Slow() != 1 || k.Scheduler().Offline(3) {
+		t.Fatal("t=0 faults did not heal")
+	}
+}
+
+// A fault scheduled beyond the workload's end still fires during the
+// post-exit drain, is counted, and heals — Run must not strand it.
+func TestFaultBeyondRunEnd(t *testing.T) {
+	plan, err := fault.ParsePlan("mem-loss:0:30s:1s:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(machine.FaultIsolation(), core.PIso, kernel.Options{Faults: plan})
+	a := k.NewSPU("a", 1)
+	k.Boot()
+	p := workload.Pmake(k, a.ID(), "quick", workload.PmakeParams{
+		Parallel: 1, FilesPerCompile: 1, ComputePerFile: 10 * sim.Millisecond,
+		WSSPages: 50, SrcBytes: 8 * 1024, ObjBytes: 4 * 1024,
+	})
+	k.Spawn(p)
+	end := k.Run()
+	if end >= 30*sim.Second {
+		t.Fatalf("workload ran until %v; the fault was not beyond its end", end)
+	}
+	in := k.Injector()
+	if in.Stat.Injected != 1 || in.Stat.Reverted != 1 {
+		t.Fatalf("drain-time fault stats = %+v, want 1/1", in.Stat)
+	}
+	if got := k.Memory().TotalPages(); got != machine.FaultIsolation().Pages() {
+		t.Fatalf("pages = %d after drain-time heal, want %d", got, machine.FaultIsolation().Pages())
+	}
+}

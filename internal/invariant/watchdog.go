@@ -1,0 +1,88 @@
+package invariant
+
+import (
+	"fmt"
+
+	"perfiso/internal/sim"
+)
+
+// Watchdog defaults. Real workloads dispatch a few hundred events per
+// simulated tick; the thresholds sit orders of magnitude above that so
+// only a genuinely wedged machine trips them.
+const (
+	// DefaultMaxStall is how many events may fire without the clock
+	// advancing before the run is declared livelocked (two subsystems
+	// re-waking each other at the same instant forever).
+	DefaultMaxStall = 1 << 20
+	// DefaultStormWindow / DefaultStormEvents bound the event rate: more
+	// than StormEvents dispatches inside one StormWindow of simulated
+	// time is an event storm (for example a zero-delay retry loop that
+	// does advance the clock, one nanosecond at a time).
+	DefaultStormWindow = 10 * sim.Millisecond
+	DefaultStormEvents = 1 << 21
+)
+
+// TripError reports why the watchdog stopped a run. It is delivered by
+// panic from kernel.Run so a wedged simulation cannot also wedge the
+// host process; the soak harness recovers it by type.
+type TripError struct {
+	Kind   string // "livelock" or "event-storm"
+	At     sim.Time
+	Events uint64 // events observed in the offending window
+}
+
+func (e *TripError) Error() string {
+	return fmt.Sprintf("watchdog: %s at %s after %d events", e.Kind, e.At, e.Events)
+}
+
+// Watchdog detects a wedged simulation from the outside: livelock (the
+// clock stops while events keep firing) and event storms (the clock
+// crawls while event volume explodes). It inspects nothing but the
+// clock and the dispatch counter, so it cannot be fooled by a subsystem
+// whose internal state looks healthy.
+type Watchdog struct {
+	MaxStall    uint64   // events tolerated with no time progress (0 = default)
+	StormWindow sim.Time // event-rate measurement window (0 = default)
+	StormEvents uint64   // events tolerated per window (0 = default)
+
+	lastNow   sim.Time
+	stallBase uint64
+	winStart  sim.Time
+	winBase   uint64
+}
+
+// NewWatchdog returns a watchdog with default thresholds.
+func NewWatchdog() *Watchdog { return &Watchdog{} }
+
+// Observe feeds the watchdog one sample — the kernel calls it after
+// every event dispatch with the current clock and total dispatch count.
+// It returns a *TripError when a threshold is crossed, else nil. Two
+// integer comparisons on the happy path; cost is negligible.
+func (w *Watchdog) Observe(now sim.Time, dispatched uint64) error {
+	maxStall := w.MaxStall
+	if maxStall == 0 {
+		maxStall = DefaultMaxStall
+	}
+	if now != w.lastNow {
+		w.lastNow = now
+		w.stallBase = dispatched
+	} else if dispatched-w.stallBase > maxStall {
+		return &TripError{Kind: "livelock", At: now, Events: dispatched - w.stallBase}
+	}
+
+	window := w.StormWindow
+	if window == 0 {
+		window = DefaultStormWindow
+	}
+	stormEvents := w.StormEvents
+	if stormEvents == 0 {
+		stormEvents = DefaultStormEvents
+	}
+	if now-w.winStart >= window {
+		w.winStart = now
+		w.winBase = dispatched
+	} else if dispatched-w.winBase > stormEvents {
+		return &TripError{Kind: "event-storm", At: now, Events: dispatched - w.winBase}
+	}
+	return nil
+}

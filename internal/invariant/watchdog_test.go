@@ -1,0 +1,111 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	w := NewWatchdog()
+	var dispatched uint64
+	for i := 0; i < 10000; i++ {
+		dispatched += 50 // a busy but sane event rate
+		if err := w.Observe(sim.Time(i)*sim.Millisecond, dispatched); err != nil {
+			t.Fatalf("tripped on healthy run at step %d: %v", i, err)
+		}
+	}
+}
+
+func TestWatchdogTripsOnLivelock(t *testing.T) {
+	w := &Watchdog{MaxStall: 100}
+	now := 5 * sim.Second
+	var err error
+	var n uint64
+	for n = 1; n <= 200; n++ {
+		if err = w.Observe(now, n); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("frozen clock never tripped the watchdog")
+	}
+	var trip *TripError
+	if !errors.As(err, &trip) {
+		t.Fatalf("error %T, want *TripError", err)
+	}
+	if trip.Kind != "livelock" || trip.At != now {
+		t.Fatalf("trip = %+v", trip)
+	}
+	if n <= 100 {
+		t.Fatalf("tripped after only %d events with MaxStall 100", n)
+	}
+}
+
+func TestWatchdogLivelockResetsOnProgress(t *testing.T) {
+	w := &Watchdog{MaxStall: 100, StormEvents: 1 << 40}
+	var dispatched uint64
+	for step := 0; step < 50; step++ {
+		now := sim.Time(step) * sim.Nanosecond // crawling, but moving
+		for i := 0; i < 90; i++ {
+			dispatched++
+			if err := w.Observe(now, dispatched); err != nil {
+				t.Fatalf("tripped despite clock progress: %v", err)
+			}
+		}
+	}
+}
+
+func TestWatchdogTripsOnEventStorm(t *testing.T) {
+	w := &Watchdog{MaxStall: 10, StormWindow: sim.Millisecond, StormEvents: 1000}
+	var dispatched uint64
+	var err error
+	for i := 0; err == nil && i < 5000; i++ {
+		// The clock advances every event — no livelock — but 5000 events
+		// land inside one millisecond window.
+		dispatched++
+		err = w.Observe(sim.Time(i)*sim.Nanosecond, dispatched)
+	}
+	var trip *TripError
+	if !errors.As(err, &trip) {
+		t.Fatalf("storm not detected: %v", err)
+	}
+	if trip.Kind != "event-storm" {
+		t.Fatalf("trip kind %q, want event-storm", trip.Kind)
+	}
+}
+
+func TestWatchdogStormWindowResets(t *testing.T) {
+	w := &Watchdog{StormWindow: sim.Millisecond, StormEvents: 1000, MaxStall: 1 << 40}
+	var dispatched uint64
+	for win := 0; win < 20; win++ {
+		base := sim.Time(win) * sim.Millisecond
+		for i := 0; i < 900; i++ { // under threshold per window
+			dispatched++
+			if err := w.Observe(base, dispatched); err != nil {
+				t.Fatalf("tripped at window %d: %v", win, err)
+			}
+		}
+	}
+}
+
+func TestViolationErrorRendersDeterministically(t *testing.T) {
+	v := Violation{
+		At:       sim.Second,
+		Check:    "mem",
+		SPU:      2,
+		Boundary: "tick",
+		Message:  "books off by one",
+		Snapshot: map[string]float64{"b": 2, "a": 1, "c": 3},
+	}
+	want := v.Error()
+	for i := 0; i < 10; i++ {
+		if got := v.Error(); got != want {
+			t.Fatalf("Error() unstable: %q vs %q", got, want)
+		}
+	}
+	if want == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -13,12 +13,14 @@ import (
 	"perfiso/internal/disk"
 	"perfiso/internal/fault"
 	"perfiso/internal/fs"
+	"perfiso/internal/invariant"
 	"perfiso/internal/machine"
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
 	"perfiso/internal/proc"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
+	"perfiso/internal/snap"
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
 )
@@ -80,6 +82,19 @@ type Options struct {
 	// Horizon aborts the simulation if processes are still alive after
 	// this much simulated time (default 3600 s) — a hang detector.
 	Horizon sim.Time
+	// AuditDisabled turns off the invariant auditor (internal/invariant),
+	// which otherwise re-verifies the paper's conservation and isolation
+	// invariants every tick and at every sharing boundary. On by default:
+	// the checks are read-only, so they never change simulation results,
+	// only catch a machine whose books stopped balancing.
+	AuditDisabled bool
+	// AuditCollect makes the auditor record violations instead of
+	// panicking on the first one — the soak harness uses this to survey
+	// a failure rather than die on its first symptom.
+	AuditCollect bool
+	// WatchdogDisabled turns off the livelock/event-storm watchdog that
+	// otherwise guards Run.
+	WatchdogDisabled bool
 	// Faults, when non-empty, schedules deterministic hardware faults
 	// (disk degradation, CPU stragglers/offlining, memory-frame loss)
 	// at boot; see internal/fault.ParsePlan for the spec syntax.
@@ -136,6 +151,8 @@ type Kernel struct {
 	timeline *stats.Timeline
 	injector *fault.Injector
 	metrics  *metrics.Registry
+	auditor  *invariant.Auditor
+	watchdog *invariant.Watchdog
 }
 
 // New builds (but does not boot) a kernel on the given hardware with
@@ -186,6 +203,23 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 		k.sch.Metrics = k.metrics
 		k.mm.Metrics = k.metrics
 		k.fsys.Metrics = k.metrics
+	}
+	if !opts.AuditDisabled {
+		k.auditor = invariant.New(invariant.Targets{
+			Eng:   eng,
+			SPUs:  spus,
+			Sched: k.sch,
+			Mem:   k.mm,
+			Disks: k.disks,
+		})
+		k.auditor.Collect = opts.AuditCollect
+		k.auditor.Metrics = k.metrics
+		k.auditor.Trace = k.tracer
+		k.sch.AuditHook = func(reason string) { k.auditor.CheckSched(reason) }
+		k.mm.AuditHook = func(reason string) { k.auditor.CheckMem(reason) }
+	}
+	if !opts.WatchdogDisabled {
+		k.watchdog = invariant.NewWatchdog()
 	}
 	k.mm.SetPageout(k.pageout)
 	// A little kernel memory: code and data pinned at boot (4 MB),
@@ -315,6 +349,13 @@ func (k *Kernel) Boot() {
 		k.registerSeries()
 		k.tickers = append(k.tickers,
 			k.eng.Every(k.metrics.Period(), "kernel.metrics", k.metrics.Sample))
+	}
+	if k.auditor != nil {
+		// Created after the other tickers, so at coincident fire times the
+		// full sweep always runs after the tick, the memory policy, and the
+		// samplers — the auditor sees settled post-boundary state.
+		k.tickers = append(k.tickers,
+			k.eng.Every(sched.TickPeriod, "kernel.audit", func() { k.auditor.CheckAll("tick") }))
 	}
 	if !k.opts.Faults.Empty() {
 		k.injector = fault.NewInjector(k.eng, fault.Machine{
@@ -485,6 +526,13 @@ func (k *Kernel) Run() sim.Time {
 		if !k.eng.Step() {
 			panic(fmt.Sprintf("kernel: event queue drained with %d processes alive", k.liveProcs))
 		}
+		if k.watchdog != nil {
+			if err := k.watchdog.Observe(k.eng.Now(), k.eng.Dispatched()); err != nil {
+				// Deliver by panic so a wedged simulation cannot also wedge
+				// the host; the soak harness recovers the *TripError.
+				panic(err)
+			}
+		}
 		if k.eng.Now() > k.opts.Horizon {
 			panic(fmt.Sprintf("kernel: horizon %v exceeded with %d processes alive", k.opts.Horizon, k.liveProcs))
 		}
@@ -496,6 +544,56 @@ func (k *Kernel) Run() sim.Time {
 	k.eng.Run() // drain in-flight IO and daemons
 	return end
 }
+
+// RunUntil advances the simulation to the given instant and stops,
+// with daemons still armed and processes mid-flight — the
+// checkpoint/replay entry point. Because the engine is deterministic,
+// re-running a scenario to the same instant reproduces the same state;
+// Snapshot proves it byte-for-byte. Run may be called afterwards to
+// finish the run.
+func (k *Kernel) RunUntil(t sim.Time) {
+	if !k.booted {
+		panic("kernel: RunUntil before Boot")
+	}
+	k.eng.RunUntil(t)
+}
+
+// Snapshot serialises the simulation state — clock, pending events,
+// SPU resource levels, scheduler, memory, disks, injector, and process
+// liveness — as a deterministic text document (internal/snap). Two runs
+// of the same scenario paused at the same instant produce identical
+// bytes; the soak harness and the replay tests compare digests to prove
+// checkpoint/restore exactness.
+func (k *Kernel) Snapshot() []byte {
+	enc := snap.NewEncoder()
+	k.eng.Snapshot(enc)
+	enc.Section("spus")
+	for _, u := range k.spus.All() {
+		for r := core.Resource(0); r < core.NumResources; r++ {
+			pre := fmt.Sprintf("spu%d_r%d", u.ID(), r)
+			enc.Float(pre+"_ent", u.Entitled(r))
+			enc.Float(pre+"_alw", u.Allowed(r))
+			enc.Float(pre+"_used", u.Used(r))
+		}
+	}
+	k.sch.Snapshot(enc)
+	k.mm.Snapshot(enc)
+	for _, d := range k.disks {
+		d.Snapshot(enc)
+	}
+	if k.injector != nil {
+		k.injector.Snapshot(enc)
+	}
+	enc.Section("kernel")
+	enc.Int("live_procs", int64(k.liveProcs))
+	return enc.Bytes()
+}
+
+// Auditor returns the invariant auditor, or nil when disabled.
+func (k *Kernel) Auditor() *invariant.Auditor { return k.auditor }
+
+// Watchdog returns the livelock watchdog, or nil when disabled.
+func (k *Kernel) Watchdog() *invariant.Watchdog { return k.watchdog }
 
 // pageout routes dirty evicted pages to backing store: cache pages to
 // their file location, anonymous pages to the owning SPU's swap region,

@@ -131,6 +131,11 @@ type Manager struct {
 	// Metrics, when non-nil, receives per-SPU reclaim, dirty-write, and
 	// pageout-retry counters. Nil costs nothing.
 	Metrics *metrics.Registry
+	// AuditHook, when non-nil, runs after loan revocations, policy
+	// ticks, and fault-driven frame-count changes so the invariant
+	// auditor can check frame conservation at every sharing boundary.
+	// The hook must only read manager state.
+	AuditHook func(reason string)
 }
 
 // NewManager creates a memory manager with the given number of page
@@ -184,6 +189,7 @@ func (m *Manager) RemoveFrames(n int) {
 	m.total -= n
 	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
 	m.kickReclaim()
+	m.auditBoundary("remove-frames")
 }
 
 // AddFrames returns n frames to service, waking any queued waiters.
@@ -194,6 +200,7 @@ func (m *Manager) AddFrames(n int) {
 	m.total += n
 	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
 	m.serveWaiters()
+	m.auditBoundary("add-frames")
 }
 
 // DivideAmongSPUs recomputes user SPUs' entitled/allowed memory from the

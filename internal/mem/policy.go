@@ -85,6 +85,7 @@ func (m *Manager) PolicyTick() {
 	// Enforce the adjusted limits and unblock anyone who can proceed.
 	m.kickReclaim()
 	m.serveWaiters()
+	m.auditBoundary("mempolicy")
 }
 
 // redivide recomputes entitlements from the frames not used by the

@@ -145,6 +145,7 @@ func (m *Manager) revokeLoans(needed int) {
 			}
 		}
 	}
+	m.auditBoundary("revoke-loan")
 }
 
 // evictFrom evicts the least-recently-used unpinned page satisfying the

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"perfiso/internal/core"
@@ -11,6 +12,28 @@ import (
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
 )
+
+// jsonFloat is a float64 that marshals NaN and ±Inf as null instead of
+// making encoding/json error out and abort the whole export. A gauge
+// whose closure divides by a zero denominator (no observations yet, a
+// zero-length window) must cost one null cell, not the artifact.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func toJSONFloats(vs []float64) []jsonFloat {
+	out := make([]jsonFloat, len(vs))
+	for i, v := range vs {
+		out[i] = jsonFloat(v)
+	}
+	return out
+}
 
 // Names maps an SPU id to its display name for exports. NoSPU and
 // unknown ids render as "machine".
@@ -45,33 +68,33 @@ type counterLine struct {
 }
 
 type gaugeLine struct {
-	Type    string  `json:"type"`
-	Name    string  `json:"name"`
-	SPU     int     `json:"spu"`
-	SPUName string  `json:"spu_name"`
-	Value   float64 `json:"value"`
+	Type    string    `json:"type"`
+	Name    string    `json:"name"`
+	SPU     int       `json:"spu"`
+	SPUName string    `json:"spu_name"`
+	Value   jsonFloat `json:"value"`
 }
 
 type distLine struct {
-	Type    string  `json:"type"`
-	Name    string  `json:"name"`
-	SPU     int     `json:"spu"`
-	SPUName string  `json:"spu_name"`
-	N       int     `json:"n"`
-	Mean    float64 `json:"mean"`
-	P50     float64 `json:"p50"`
-	P99     float64 `json:"p99"`
-	Max     float64 `json:"max"`
+	Type    string    `json:"type"`
+	Name    string    `json:"name"`
+	SPU     int       `json:"spu"`
+	SPUName string    `json:"spu_name"`
+	N       int       `json:"n"`
+	Mean    jsonFloat `json:"mean"`
+	P50     jsonFloat `json:"p50"`
+	P99     jsonFloat `json:"p99"`
+	Max     jsonFloat `json:"max"`
 }
 
 type seriesLine struct {
-	Type     string    `json:"type"`
-	Name     string    `json:"name"`
-	SPU      int       `json:"spu"`
-	SPUName  string    `json:"spu_name"`
-	PeriodMS float64   `json:"period_ms"`
-	TimesMS  []float64 `json:"t_ms"`
-	Values   []float64 `json:"v"`
+	Type     string      `json:"type"`
+	Name     string      `json:"name"`
+	SPU      int         `json:"spu"`
+	SPUName  string      `json:"spu_name"`
+	PeriodMS float64     `json:"period_ms"`
+	TimesMS  []float64   `json:"t_ms"`
+	Values   []jsonFloat `json:"v"`
 }
 
 // WriteJSONL writes every registered metric as one JSON object per
@@ -95,7 +118,7 @@ func (r *Registry) WriteJSONL(w io.Writer, names Names) error {
 	for _, g := range r.gauges {
 		if err := enc.Encode(gaugeLine{
 			Type: "gauge", Name: g.Name, SPU: int(g.SPU),
-			SPUName: names.lookup(g.SPU), Value: g.Value(),
+			SPUName: names.lookup(g.SPU), Value: jsonFloat(g.Value()),
 		}); err != nil {
 			return err
 		}
@@ -103,8 +126,9 @@ func (r *Registry) WriteJSONL(w io.Writer, names Names) error {
 	for _, d := range r.dists {
 		if err := enc.Encode(distLine{
 			Type: "distribution", Name: d.Name, SPU: int(d.SPU),
-			SPUName: names.lookup(d.SPU), N: d.N(), Mean: d.Mean(),
-			P50: d.Quantile(0.50), P99: d.Quantile(0.99), Max: d.Quantile(1),
+			SPUName: names.lookup(d.SPU), N: d.N(), Mean: jsonFloat(d.Mean()),
+			P50: jsonFloat(d.Quantile(0.50)), P99: jsonFloat(d.Quantile(0.99)),
+			Max: jsonFloat(d.Quantile(1)),
 		}); err != nil {
 			return err
 		}
@@ -115,14 +139,14 @@ func (r *Registry) WriteJSONL(w io.Writer, names Names) error {
 			SPUName:  names.lookup(s.SPU),
 			PeriodMS: float64(r.period) / float64(sim.Millisecond),
 			TimesMS:  make([]float64, len(s.ts)),
-			Values:   s.vs,
+			Values:   toJSONFloats(s.vs),
 		}
 		for i, t := range s.ts {
 			line.TimesMS[i] = float64(t) / float64(sim.Millisecond)
 		}
 		if len(line.Values) == 0 {
 			line.TimesMS = []float64{}
-			line.Values = []float64{}
+			line.Values = []jsonFloat{}
 		}
 		if err := enc.Encode(line); err != nil {
 			return err
@@ -230,9 +254,14 @@ func (r *Registry) WriteChromeTrace(w io.Writer, events []trace.Event, names Nam
 		}
 	}
 
-	// Sampled series as counter tracks.
+	// Sampled series as counter tracks. Non-finite samples are dropped:
+	// a counter track has no null representation, and one NaN would make
+	// json.Marshal abort the whole file.
 	for _, s := range r.series {
 		for i := range s.ts {
+			if math.IsNaN(s.vs[i]) || math.IsInf(s.vs[i], 0) {
+				continue
+			}
 			if err := emit(chromeCounter{
 				Name: s.Name, PH: "C", PID: pid(s.SPU),
 				TS: usec(s.ts[i]), Args: chromeCounterArgs{Value: s.vs[i]},

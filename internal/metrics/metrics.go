@@ -74,6 +74,10 @@ const (
 	KeyFaultInjected = "fault.injected"
 	KeyFaultReverted = "fault.reverted"
 
+	// Invariant-auditor counters (see internal/invariant).
+	KeyInvariantChecks     = "invariant.checks"
+	KeyInvariantViolations = "invariant.violations"
+
 	// Machine-wide gauges, read at export time.
 	KeyMemFree         = "mem.free"
 	KeyDiskWaitMean    = "disk.wait_mean_s"
@@ -90,6 +94,7 @@ var Keys = []string{
 	KeyMemReclaims, KeyMemDirtyWrites, KeyMemPageoutRetries, KeyMemBackoffNS,
 	KeyFSRetries, KeyFSBackoffNS, KeySwapRetries, KeySwapBackoffNS,
 	KeyFaultInjected, KeyFaultReverted,
+	KeyInvariantChecks, KeyInvariantViolations,
 	KeyMemFree, KeyDiskWaitMean, KeyDiskServiceMean,
 }
 

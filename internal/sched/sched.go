@@ -103,6 +103,11 @@ type Scheduler struct {
 	// Metrics, when non-nil, receives per-SPU loan/revocation counters
 	// and the revocation-latency distribution. Nil costs nothing.
 	Metrics *metrics.Registry
+	// AuditHook, when non-nil, runs after every loan dispatch and loan
+	// revocation so the invariant auditor can check sharing boundaries
+	// the moment they move, not just at the next tick. The hook must
+	// only read scheduler state.
+	AuditHook func(reason string)
 
 	gangs []*Gang
 
@@ -433,6 +438,9 @@ func (s *Scheduler) tryDispatchThread(t *Thread) {
 				s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
 					"IPI for waking thread %s of spu%d", t.Name, t.SPU)
 				s.dispatch(c)
+				if s.AuditHook != nil {
+					s.AuditHook("revoke-ipi")
+				}
 				return
 			}
 		}
@@ -546,6 +554,9 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 		s.Metrics.Counter(metrics.KeySchedLoans, t.SPU).Inc()
 		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "loan",
 			"thread %s of spu%d on cpu homed at spu%d", t.Name, t.SPU, c.home)
+		if s.AuditHook != nil {
+			s.AuditHook("loan")
+		}
 	}
 
 	run := s.opts.Slice
@@ -702,6 +713,9 @@ func (s *Scheduler) Tick() {
 		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
 			"tick revocation for spu%d", c.home)
 		s.dispatch(c)
+		if s.AuditHook != nil {
+			s.AuditHook("revoke")
+		}
 	}
 
 	// Gang placement happens at tick granularity, before the general

@@ -1,0 +1,121 @@
+package soak
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perfiso/internal/fault"
+	"perfiso/internal/sim"
+)
+
+func TestCaseGenerationDeterministic(t *testing.T) {
+	a := NewCase(42, 3)
+	b := NewCase(42, 3)
+	if a.Scheme != b.Scheme || a.SPUs != b.SPUs || a.Pmake != b.Pmake ||
+		a.Faults.String() != b.Faults.String() {
+		t.Fatalf("same (seed,index) gave different cases:\n%+v\n%+v", a, b)
+	}
+	c := NewCase(42, 4)
+	if a.Faults.String() == c.Faults.String() && a.Pmake == c.Pmake {
+		t.Fatal("adjacent indices generated identical cases")
+	}
+}
+
+func TestGeneratedPlansAreValid(t *testing.T) {
+	// Every generated plan must round-trip through the CLI spec parser
+	// — otherwise the printed repro command would not replay.
+	for i := 0; i < 50; i++ {
+		c := NewCase(7, i)
+		spec := c.Faults.String()
+		p, err := fault.ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("case %d generated unparseable plan %q: %v", i, spec, err)
+		}
+		if len(p.Events) != len(c.Faults.Events) {
+			t.Fatalf("case %d plan %q round-tripped to %d events, had %d",
+				i, spec, len(p.Events), len(c.Faults.Events))
+		}
+	}
+}
+
+func TestCleanCasePasses(t *testing.T) {
+	res := Run(NewCase(1, 0))
+	if res.Failed() {
+		t.Fatalf("seed-1 case 0 failed: %s\n%s", res.Summary(), res.Panic)
+	}
+	if res.End == 0 {
+		t.Fatal("run reported no completion time")
+	}
+}
+
+// TestSabotagedRunFailsAndShrinks is the shrinker acceptance test: a
+// deliberately corrupted run must trip the auditor, and delta-debugging
+// must isolate the single mem-loss fault the corruption is tied to.
+func TestSabotagedRunFailsAndShrinks(t *testing.T) {
+	plan, err := fault.ParsePlan(
+		"disk-slow:0:100ms:300ms:2," +
+			"cpu-slow:1:150ms:400ms:0.5," +
+			"mem-loss:0:300ms:300ms:0.25," +
+			"disk-fail:1:400ms:200ms:0.2," +
+			"cpu-off:2:500ms:300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCase(99, 0).WithFaults(plan)
+	c.sabotage = true
+
+	res := Run(c)
+	if !res.Failed() {
+		t.Fatal("sabotaged run did not fail")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("expected auditor violations, got: %s", res.Summary())
+	}
+	if at := res.FirstFailureAt(); at < 300*sim.Millisecond {
+		t.Fatalf("violation at %v, before the sabotage trigger", at)
+	}
+
+	minimal, tests := Shrink(c, res)
+	if tests == 0 {
+		t.Fatal("shrinker ran no candidate replays")
+	}
+	if got := len(minimal.Faults.Events); got != 1 {
+		t.Fatalf("shrunk to %d events, want 1: %q", got, minimal.Faults.String())
+	}
+	if minimal.Faults.Events[0].Kind != fault.MemLoss {
+		t.Fatalf("minimal event is %v, want mem-loss", minimal.Faults.Events[0].Kind)
+	}
+
+	// The minimal case must still reproduce on its own.
+	again := Run(minimal)
+	if !again.Failed() {
+		t.Fatal("minimal repro does not fail when rerun")
+	}
+
+	cmd := minimal.ReproCommand()
+	for _, want := range []string{"-soak-seed 99", "-soak-case 0", "mem-loss"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("repro command %q missing %q", cmd, want)
+		}
+	}
+}
+
+func TestShrinkKeepsPassingCaseUntouched(t *testing.T) {
+	c := NewCase(1, 0)
+	res := Run(c)
+	shrunk, tests := Shrink(c, res)
+	if tests != 0 || shrunk.Faults.String() != c.Faults.String() {
+		t.Fatal("shrinker touched a passing case")
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if failures := Sweep(&buf, 1, 3); failures != 0 {
+		t.Fatalf("soak sweep seed=1 found %d failures:\n%s", failures, buf.String())
+	}
+	if got := strings.Count(buf.String(), "soak case"); got != 3 {
+		t.Fatalf("expected 3 case reports, got %d:\n%s", got, buf.String())
+	}
+}

@@ -1,0 +1,45 @@
+package soak
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sweep runs cases [0, runs) of the seed's soak matrix, shrinking and
+// reporting every failure to w. It returns the number of failing
+// cases; 0 means the seed's whole sweep held every invariant.
+func Sweep(w io.Writer, seed uint64, runs int) int {
+	failures := 0
+	for i := 0; i < runs; i++ {
+		c := NewCase(seed, i)
+		res := Run(c)
+		if !res.Failed() {
+			fmt.Fprintf(w, "soak case %d/%d seed=%d scheme=%v spus=%d faults=%d: %s\n",
+				i+1, runs, seed, c.Scheme, c.SPUs, len(c.Faults.Events), res.Summary())
+			continue
+		}
+		failures++
+		fmt.Fprintf(w, "soak case %d/%d seed=%d FAILED: %s\n", i+1, runs, seed, res.Summary())
+		minimal, tests := Shrink(c, res)
+		fmt.Fprintf(w, "  shrunk %d -> %d fault(s) in %d replay(s)\n",
+			len(c.Faults.Events), len(minimal.Faults.Events), tests)
+		fmt.Fprintf(w, "  repro: %s\n", minimal.ReproCommand())
+	}
+	return failures
+}
+
+// RunOne replays a single case — the repro path — reporting to w and
+// returning true when it still fails.
+func RunOne(w io.Writer, c Case) bool {
+	res := Run(c)
+	fmt.Fprintf(w, "soak case seed=%d index=%d scheme=%v spus=%d faults=%q: %s\n",
+		c.Seed, c.Index, c.Scheme, c.SPUs, c.Faults.String(), res.Summary())
+	for i, v := range res.Violations {
+		if i >= 5 {
+			fmt.Fprintf(w, "  ... %d more violations\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", v.Error())
+	}
+	return res.Failed()
+}

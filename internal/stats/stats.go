@@ -151,6 +151,23 @@ func (w *TimeWeighted) Average(now sim.Time) float64 {
 	return area / duration.Seconds()
 }
 
+// Area returns the integral of the tracked value over [first Set, now]
+// in value·seconds, counting the still-open final segment at the current
+// value. Like Average it is a pure read. The invariant auditor uses this
+// to cross-check the scheduler's busy-time integral against its per-SPU
+// CPU-time ledger.
+func (w *TimeWeighted) Area(now sim.Time) float64 {
+	area := w.area
+	if w.started {
+		dt := now - w.last
+		if dt < 0 {
+			panic("stats: TimeWeighted.Area asked for a time before the last Set")
+		}
+		area += w.value * dt.Seconds()
+	}
+	return area
+}
+
 // Histogram is a fixed-width bucket histogram with overflow and underflow
 // buckets, used for distributions such as per-request disk wait times.
 type Histogram struct {

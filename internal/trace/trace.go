@@ -28,6 +28,7 @@ const (
 	Proc               // process lifecycle
 	Policy             // periodic policy ticks
 	Fault              // injected faults and their recovery
+	Audit              // invariant auditor violations and watchdog trips
 	NumKinds
 )
 
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "policy"
 	case Fault:
 		return "fault"
+	case Audit:
+		return "audit"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
