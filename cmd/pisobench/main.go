@@ -42,6 +42,7 @@ type config struct {
 	parallel    int
 	jsonPath    string
 	metricsPath string
+	profilePath string
 	soak        bool
 	soakRuns    int
 	soakSeed    uint64
@@ -59,6 +60,7 @@ func main() {
 	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
+	flag.StringVar(&cfg.profilePath, "profile", "", "write the per-experiment attribution artifact (JSONL: latency breakdowns, interference matrix, spans) to this path")
 	flag.BoolVar(&cfg.soak, "soak", false, "run the chaos-soak harness instead of the evaluation suite")
 	flag.IntVar(&cfg.soakRuns, "soak-runs", 16, "soak: number of generated cases to run")
 	flag.Uint64Var(&cfg.soakSeed, "soak-seed", 1, "soak: sweep seed; every case derives from it deterministically")
@@ -191,6 +193,17 @@ func run(cfg config, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if err := os.WriteFile(cfg.metricsPath, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.profilePath != "" {
+		var buf strings.Builder
+		if err := experiment.ProfileJSONL(results, &buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.profilePath, []byte(buf.String()), 0o644); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

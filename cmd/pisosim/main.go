@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"perfiso"
+	"perfiso/internal/profile"
 	"perfiso/internal/scenario"
+	"perfiso/internal/trace"
 )
 
 func main() {
@@ -35,9 +37,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	diskSched := fs.String("disksched", "", "override disk policy: Pos, Iso, or PIso")
 	unbalanced := fs.Bool("unbalanced", false, "use the unbalanced job distribution (pmake8, mem)")
 	traceN := fs.Int("trace", 0, "dump the last N resource-management decisions")
+	traceKind := fs.String("trace-kind", "", "restrict -trace output to these kinds (comma-separated: sched,mem,disk,fs,proc,policy,fault,audit)")
+	traceSPU := fs.Int("trace-spu", -1, "restrict -trace output to events concerning this SPU id")
 	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
 	metricsPath := fs.String("metrics", "", "write per-SPU metrics as JSONL to this file")
 	chromePath := fs.String("chrometrace", "", "write a Chrome trace-event file (open in Perfetto or chrome://tracing)")
+	profilePath := fs.String("profile", "", "write the simulated-time profile as gzipped pprof protobuf to this file")
+	spansPath := fs.String("spans", "", "write per-request span trees as JSONL to this file")
 	faultSpec := fs.String("faults", "", "inject deterministic faults: kind:target:at:duration[:severity],...\n(kinds: disk-slow, disk-fail, cpu-slow, cpu-off, mem-loss; duration 0s = permanent)")
 	specPath := fs.String("spec", "", "run a declarative JSON scenario and print a JSON result")
 	if err := fs.Parse(args); err != nil {
@@ -76,12 +82,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	kinds, err := trace.ParseKinds(*traceKind)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	spuFilter := ""
+	if *traceSPU >= 0 {
+		spuFilter = fmt.Sprintf("spu%d", *traceSPU)
+	}
+
 	opts := perfiso.Options{DiskSched: *diskSched, TraceCapacity: *traceN}
 	if *timeline {
 		opts.TimelinePeriod = 100 * perfiso.Millisecond
 	}
 	if *metricsPath != "" || *chromePath != "" {
 		opts.MetricsPeriod = 100 * perfiso.Millisecond
+	}
+	if *profilePath != "" || *spansPath != "" {
+		opts.Profiled = true
 	}
 	if *faultSpec != "" {
 		plan, err := perfiso.ParseFaults(*faultSpec)
@@ -101,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		_, wait, pos := sys.DiskStats(0)
 		fmt.Fprintf(stdout, "disk: mean wait %.1fms, mean positioning %.2fms\n", wait*1000, pos*1000)
 	}
-	report(sys, stdout)
+	report(sys, stdout, kinds, spuFilter)
 	if *metricsPath != "" {
 		if err := writeExport(*metricsPath, sys.WriteMetrics); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -115,6 +134,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "chrome trace written to %s (open in Perfetto)\n", *chromePath)
+	}
+	if *profilePath != "" {
+		if err := writeExport(*profilePath, sys.WriteProfile); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "profile written to %s (view with `go tool pprof`)\n", *profilePath)
+	}
+	if *spansPath != "" {
+		if err := writeExport(*spansPath, sys.WriteSpans); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "spans written to %s\n", *spansPath)
 	}
 	return 0
 }
@@ -145,7 +178,7 @@ func parseScheme(name string) (perfiso.Scheme, bool) {
 	return perfiso.SMP, false
 }
 
-func report(sys *perfiso.System, w io.Writer) {
+func report(sys *perfiso.System, w io.Writer, kinds []trace.Kind, spu string) {
 	rep := sys.Report()
 	fmt.Fprintf(w, "\nmakespan %.2fs  cpu-util %.0f%%  disk-reqs %d  reclaims %d  dirty-writes %d\n",
 		rep.Makespan.Seconds(), 100*rep.CPUUtilization, rep.DiskRequests,
@@ -166,8 +199,34 @@ func report(sys *perfiso.System, w io.Writer) {
 	if tbl := sys.Kernel().UsageTable(); tbl != nil {
 		fmt.Fprintf(w, "\n%s", tbl)
 	}
+	if p := sys.Kernel().Profile(); p != nil {
+		printAttribution(p, w)
+	}
 	if tr := sys.Kernel().Tracer(); tr != nil && tr.Len() > 0 {
 		fmt.Fprintf(w, "\nlast %d resource-management decisions:\n", tr.Len())
-		tr.Dump(w)
+		tr.DumpFiltered(w, kinds, spu)
+	}
+}
+
+// printAttribution renders the profiler's aggregate buckets and the
+// cross-SPU interference matrix: who stole how much simulated time from
+// whom, on which resource.
+func printAttribution(p *profile.Profiler, w io.Writer) {
+	totals := p.Totals()
+	if len(totals) > 0 {
+		fmt.Fprintf(w, "\nsimulated-time attribution (per SPU, per state):\n")
+		for _, t := range totals {
+			fmt.Fprintf(w, "  %-6s %-12s %12s\n", profile.SPUName(t.SPU), t.State, t.Time)
+		}
+	}
+	theft := p.Interference()
+	if len(theft) == 0 {
+		fmt.Fprintf(w, "\ninterference matrix: empty (no cross-SPU time theft)\n")
+		return
+	}
+	fmt.Fprintf(w, "\ninterference matrix (victim <- culprit, resource, stolen sim-time):\n")
+	for _, t := range theft {
+		fmt.Fprintf(w, "  %-6s <- %-6s %-8s %12s\n",
+			profile.SPUName(t.Victim), profile.SPUName(t.Culprit), t.Resource, t.Stolen)
 	}
 }

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"perfiso/internal/core"
+	"perfiso/internal/profile"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 )
@@ -65,6 +66,12 @@ type Disk struct {
 	Merge bool
 
 	usage *usageTable
+
+	// Profile, when non-nil, receives request span trees, the
+	// queue-theft blame pass, and the completion windows that let
+	// waiters split their stalls into queue/service/backoff time. Nil
+	// costs nothing.
+	Profile *profile.Profiler
 
 	Total  Stats
 	PerSPU map[core.SPUID]*SPUStats
@@ -294,6 +301,19 @@ func (d *Disk) startNext() {
 		r.Failed = true
 	}
 
+	if d.Profile != nil {
+		// Blame pass: every queued request of another SPU now waits the
+		// whole service time of r because the scheduler chose r first.
+		// This is the only source of disk theft in the interference
+		// matrix (a waiter's own queue-time split must not double it).
+		for _, q := range d.queue {
+			if q.SPU != r.SPU {
+				d.Profile.AddTheft(q.SPU, r.SPU, profile.Disk, total)
+				q.StolenBy = r.SPU
+			}
+		}
+	}
+
 	d.eng.CallAfter(total, "disk.complete", func() { d.complete(r) })
 	// The head ends up over the last cylinder touched by the transfer.
 	d.headCyl = d.params.CylinderOf(r.Sector + int64(r.Count) - 1)
@@ -341,10 +361,34 @@ func (d *Disk) complete(r *Request) {
 	}
 
 	done := r.Done
-	d.startNext()
-	if done != nil {
-		done(r)
+	var flowID int64
+	if d.Profile != nil && !r.Failed {
+		flowID = d.Profile.DiskSpans(r.SPU, r.Kind.String(), r.Submitted, r.Started, r.Finished, r.stolenBy())
 	}
+	d.startNext()
+	if done == nil {
+		return
+	}
+	if d.Profile != nil && !r.Failed {
+		// Everything done(r) resumes synchronously waited on exactly
+		// this transfer: publish its timing as the completion window so
+		// closing DiskWait segments can split into queue/service/backoff
+		// and link back to the service span as a flow.
+		d.Profile.BeginDiskWindow(r.Started, r.Finished, r.Backoff, r.stolenBy(), flowID)
+		done(r)
+		d.Profile.EndDiskWindow()
+		return
+	}
+	done(r)
+}
+
+// stolenBy returns the SPU to blame for the request's queueing delay:
+// the last SPU served ahead of it, or its own SPU if never displaced.
+func (r *Request) stolenBy() core.SPUID {
+	if r.StolenBy == core.KernelID {
+		return r.SPU
+	}
+	return r.StolenBy
 }
 
 // Utilization returns the fraction of time the disk has been busy.

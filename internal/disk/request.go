@@ -56,6 +56,16 @@ type Request struct {
 	// the submitter is expected to retry. Submit clears it, so a request
 	// object can be resubmitted as-is.
 	Failed bool
+
+	// Backoff accumulates the retry delays the submitter inserted before
+	// resubmitting this request after failed transfers, so the profiler
+	// can separate backoff from genuine queueing in a waiter's stall.
+	Backoff sim.Time
+	// StolenBy is the SPU whose request the scheduler most recently
+	// served while this one sat queued (set by the profiler blame pass;
+	// the zero value means never displaced — the kernel SPU issues no
+	// disk traffic, so KernelID cannot be a real thief).
+	StolenBy core.SPUID
 }
 
 // Positioning returns the mechanical positioning latency (seek plus

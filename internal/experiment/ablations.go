@@ -36,7 +36,7 @@ func RunAblationBWThreshold(thresholds []float64) BWThresholdResult {
 	res.Latency.Name = "avg positioning latency (ms)"
 	for _, th := range thresholds {
 		k := kernel.New(machine.DiskIsolation(), core.PIso, kernel.Options{
-			DiskSched: "PIso", BWThreshold: th,
+			DiskSched: "PIso", BWThreshold: th, Profiled: true,
 		})
 		spu1 := k.NewSPU("small", 1)
 		spu2 := k.NewSPU("big", 1)
@@ -48,7 +48,7 @@ func RunAblationBWThreshold(thresholds []float64) BWThresholdResult {
 		k.Spawn(big)
 		k.Spawn(small)
 		k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("bw=%g", th))
 		res.Small.Add(th, small.ResponseTime().Seconds())
 		res.Big.Add(th, big.ResponseTime().Seconds())
 		res.Latency.Add(th, k.Disk(0).Total.Pos.Mean()*1000)
@@ -88,7 +88,7 @@ func RunAblationReserve(fractions []float64) ReserveResult {
 	res.SPU2.Name = "SPU2 (borrower) response (s)"
 	params := workload.MemPmake()
 	for _, f := range fractions {
-		k := kernel.New(machine.MemoryIsolation(), core.PIso, kernel.Options{Reserve: f})
+		k := kernel.New(machine.MemoryIsolation(), core.PIso, kernel.Options{Reserve: f, Profiled: true})
 		spu1 := k.NewSPU("spu1", 1)
 		spu2 := k.NewSPU("spu2", 1)
 		k.SetAffinity(spu1.ID(), 0)
@@ -101,7 +101,7 @@ func RunAblationReserve(fractions []float64) ReserveResult {
 		k.Spawn(j2a)
 		k.Spawn(j2b)
 		k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("reserve=%g", f))
 		res.SPU1.Add(f, j1.ResponseTime().Seconds())
 		res.SPU2.Add(f, (j2a.ResponseTime()+j2b.ResponseTime()).Seconds()/2)
 	}
@@ -138,7 +138,7 @@ type InodeLockResult struct {
 func RunAblationInodeLock() InodeLockResult {
 	var res InodeLockResult
 	run := func(mutex bool) (sim.Time, sim.Time) {
-		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{InodeMutex: mutex})
+		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{InodeMutex: mutex, Profiled: true})
 		var spus []core.SPUID
 		for i := 0; i < 8; i++ {
 			s := k.NewSPU(fmt.Sprintf("spu%d", i+1), 1)
@@ -157,7 +157,7 @@ func RunAblationInodeLock() InodeLockResult {
 			k.Spawn(workload.Pmake(k, id, fmt.Sprintf("pmake%d", i), params))
 		}
 		end := k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("mutex=%t", mutex))
 		return end, k.FS().RootInode.MeanWait()
 	}
 	res.MutexResp, res.MutexWait = run(true)
@@ -191,7 +191,7 @@ type RevocationResult struct {
 func RunAblationRevocation() RevocationResult {
 	var res RevocationResult
 	run := func(ipi bool) (ocean, eda sim.Time) {
-		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{IPIRevoke: ipi})
+		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{IPIRevoke: ipi, Profiled: true})
 		spu1 := k.NewSPU("ocean", 1)
 		spu2 := k.NewSPU("eda", 1)
 		k.SetAffinity(spu1.ID(), 0)
@@ -208,7 +208,7 @@ func RunAblationRevocation() RevocationResult {
 			edaJobs = append(edaJobs, f, v)
 		}
 		k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("ipi=%t", ipi))
 		var sum sim.Time
 		for _, j := range edaJobs {
 			sum += j.ResponseTime()

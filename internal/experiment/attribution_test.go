@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// specsByID fetches registered specs, failing the test on a bad ID.
+func specsByID(t *testing.T, ids ...string) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, id := range ids {
+		s, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestProfileJSONLDeterministicUnderParallelRunAll: the attribution
+// artifact — latency rows, theft rows, and raw span lines — is
+// byte-identical whether the specs run sequentially or interleaved in a
+// worker pool.
+func TestProfileJSONLDeterministicUnderParallelRunAll(t *testing.T) {
+	specs := specsByID(t, "fig5", "tab3", "isolation-under-faults")
+	var seq, par strings.Builder
+	if err := ProfileJSONL(RunAll(specs, 1), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProfileJSONL(RunAll(specs, 8), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("attribution artifact changed under parallel RunAll")
+	}
+	if seq.Len() == 0 {
+		t.Fatal("attribution artifact is empty")
+	}
+	if !strings.Contains(seq.String(), `"type":"experiment"`) ||
+		!strings.Contains(seq.String(), `"type":"proc"`) {
+		t.Fatalf("artifact missing header or proc lines:\n%.500s", seq.String())
+	}
+}
+
+// TestRegistryAttributionConservation is the acceptance gate: every
+// registry experiment runs profiled, and for every finished process in
+// every configuration the bucket sum equals the response time exactly —
+// integer nanoseconds, no epsilon.
+func TestRegistryAttributionConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry")
+	}
+	// abl-network drives a bare netbw link on a raw engine — no kernel,
+	// no processes — so it alone has nothing to attribute.
+	kernelless := map[string]bool{"abl-network": true}
+	results := RunAll(Registry(), 8)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Spec.ID, r.Err)
+			continue
+		}
+		if kernelless[r.Spec.ID] {
+			continue
+		}
+		if len(r.Output.Attribution) == 0 {
+			t.Errorf("%s produced no attribution summaries; is its runner profiled?", r.Spec.ID)
+			continue
+		}
+		for _, as := range r.Output.Attribution {
+			if as.Tasks == 0 {
+				t.Errorf("%s/%s accounted zero tasks", r.Spec.ID, as.Config)
+			}
+			if as.ConservationViolations != 0 {
+				t.Errorf("%s/%s: %d conservation violations", r.Spec.ID, as.Config, as.ConservationViolations)
+			}
+			for _, p := range as.Procs {
+				if p.Sum() != p.Response {
+					t.Errorf("%s/%s %s: buckets sum %d ns != response %d ns",
+						r.Spec.ID, as.Config, p.Proc, p.Sum(), p.Response)
+				}
+			}
+		}
+	}
+}

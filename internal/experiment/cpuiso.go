@@ -65,6 +65,7 @@ func runCPUIsoConfig(scheme core.Scheme, opts CPUIsoOptions, m *Meter) CPUIsoRun
 	if opts.Kernel.MetricsPeriod == 0 {
 		opts.Kernel.MetricsPeriod = metricsPeriod
 	}
+	opts.Kernel.Profiled = true
 	k := kernel.New(machine.CPUIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("ocean", 1)
 	spu2 := k.NewSPU("eda", 1)

@@ -53,6 +53,7 @@ func RunTable3(opts DiskOptions) DiskResult {
 	for _, pol := range DiskPolicies {
 		kOpts := opts.Kernel
 		kOpts.DiskSched = pol
+		kOpts.Profiled = true
 		k := kernel.New(machine.DiskIsolation(), core.PIso, kOpts)
 		spu1 := k.NewSPU("pmake", 1)
 		spu2 := k.NewSPU("copy", 1)
@@ -65,7 +66,7 @@ func RunTable3(opts DiskOptions) DiskResult {
 		k.Spawn(pmk)
 		k.Spawn(cpy)
 		k.Run()
-		res.count(k)
+		res.observe(k, pol)
 
 		d := k.Disk(0)
 		row := DiskRow{
@@ -98,6 +99,7 @@ func RunTable4(opts DiskOptions) DiskResult {
 	for _, pol := range DiskPolicies {
 		kOpts := opts.Kernel
 		kOpts.DiskSched = pol
+		kOpts.Profiled = true
 		k := kernel.New(machine.DiskIsolation(), core.PIso, kOpts)
 		spu1 := k.NewSPU("small", 1)
 		spu2 := k.NewSPU("big", 1)
@@ -113,7 +115,7 @@ func RunTable4(opts DiskOptions) DiskResult {
 		k.Spawn(big)
 		k.Spawn(small)
 		k.Run()
-		res.count(k)
+		res.observe(k, pol)
 
 		d := k.Disk(0)
 		row := DiskRow{

@@ -28,7 +28,7 @@ type GangResult struct {
 func RunAblationGang() GangResult {
 	var res GangResult
 	run := func(gang, interference bool) sim.Time {
-		k := kernel.New(machine.CPUIsolation(), core.SMP, kernel.Options{})
+		k := kernel.New(machine.CPUIsolation(), core.SMP, kernel.Options{Profiled: true})
 		s := k.NewSPU("all", 1)
 		k.Boot()
 		p := workload.DefaultOcean()
@@ -42,7 +42,7 @@ func RunAblationGang() GangResult {
 			}
 		}
 		k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("gang=%t/interference=%t", gang, interference))
 		return oc.ResponseTime()
 	}
 	res.PlainOcean = run(false, true)
@@ -82,7 +82,7 @@ type ServerLatencyRow struct {
 func RunServerLatency() ServerLatencyResult {
 	var res ServerLatencyResult
 	run := func(scheme core.Scheme, ipi bool) (sim.Time, sim.Time) {
-		k := kernel.New(machine.CPUIsolation(), scheme, kernel.Options{IPIRevoke: ipi})
+		k := kernel.New(machine.CPUIsolation(), scheme, kernel.Options{IPIRevoke: ipi, Profiled: true})
 		svc := k.NewSPU("service", 1)
 		batch := k.NewSPU("batch", 1)
 		k.Boot()
@@ -93,7 +93,7 @@ func RunServerLatency() ServerLatencyResult {
 				workload.ComputeParams{Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 50}))
 		}
 		k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("%s/ipi=%t", scheme, ipi))
 		lat := job.Latencies()
 		return sim.FromSeconds(lat.Mean()), job.MaxLatency()
 	}
@@ -159,7 +159,7 @@ func RunAblationAffinity() AffinityResult {
 	var res AffinityResult
 	run := func(name string, reload, minLoan sim.Time) AffinityRow {
 		k := kernel.New(machine.CPUIsolation(), core.PIso, kernel.Options{
-			CacheReload: reload, MinLoanInterval: minLoan,
+			CacheReload: reload, MinLoanInterval: minLoan, Profiled: true,
 		})
 		spu1 := k.NewSPU("ocean", 1)
 		spu2 := k.NewSPU("eda", 1)
@@ -175,7 +175,7 @@ func RunAblationAffinity() AffinityResult {
 			jobs = append(jobs, f, v)
 		}
 		k.Run()
-		res.count(k)
+		res.observe(k, name)
 		var sum sim.Time
 		for _, j := range jobs {
 			sum += j.ResponseTime()
@@ -232,7 +232,7 @@ type PageInsertResult struct {
 func RunAblationPageInsert() PageInsertResult {
 	var res PageInsertResult
 	run := func(stripes int) (sim.Time, sim.Time) {
-		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{PageInsertStripes: stripes})
+		k := kernel.New(machine.Pmake8(), core.PIso, kernel.Options{PageInsertStripes: stripes, Profiled: true})
 		var spus []core.SPUID
 		for i := 0; i < 8; i++ {
 			s := k.NewSPU(fmt.Sprintf("spu%d", i+1), 1)
@@ -246,7 +246,7 @@ func RunAblationPageInsert() PageInsertResult {
 			k.Spawn(workload.Pmake(k, id, fmt.Sprintf("pmake%d", i), params))
 		}
 		end := k.Run()
-		res.count(k)
+		res.observe(k, fmt.Sprintf("stripes=%d", stripes))
 		_, wait := k.FS().PageInsertContention()
 		return end, wait
 	}

@@ -88,6 +88,7 @@ func runFaultConfig(scheme core.Scheme, spec string, opts FaultOptions, m *Meter
 		}
 		kopts.Faults = plan
 	}
+	kopts.Profiled = true
 	k := kernel.New(machine.FaultIsolation(), scheme, kopts)
 	// The victim SPU is created first so AssignHomes gives it the
 	// low-index CPUs the plan targets; its files live on disk 0.

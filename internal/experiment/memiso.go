@@ -55,6 +55,7 @@ func runMemIsoConfig(scheme core.Scheme, unbalanced bool, opts MemIsoOptions, m 
 	if opts.Kernel.MetricsPeriod == 0 {
 		opts.Kernel.MetricsPeriod = metricsPeriod
 	}
+	opts.Kernel.Profiled = true
 	k := kernel.New(machine.MemoryIsolation(), scheme, opts.Kernel)
 	spu1 := k.NewSPU("spu1", 1)
 	spu2 := k.NewSPU("spu2", 1)

@@ -15,6 +15,9 @@ type Meter struct {
 	// Metrics carries one summary per kernel that ran with
 	// observability on, in run order (see Meter.observe).
 	Metrics []MetricSummary
+	// Attribution carries one profiler summary per kernel that ran
+	// with profiling on, in run order (see Meter.observe).
+	Attribution []AttributionSummary
 }
 
 // count folds a finished kernel's engine dispatch total into the meter.

@@ -128,11 +128,14 @@ func MetricsJSONL(results []Result, w io.Writer) error {
 }
 
 // observe folds a finished kernel's dispatch total into the meter and,
-// when the kernel ran with observability on, appends its metric
-// summary under the given configuration name.
+// when the kernel ran with observability or profiling on, appends its
+// metric and attribution summaries under the given configuration name.
 func (m *Meter) observe(k *kernel.Kernel, config string) {
 	m.count(k)
 	if s, ok := summarizeMetrics(k, config); ok {
 		m.Metrics = append(m.Metrics, s)
+	}
+	if s, ok := summarizeAttribution(k, config); ok {
+		m.Attribution = append(m.Attribution, s)
 	}
 }

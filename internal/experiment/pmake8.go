@@ -58,6 +58,7 @@ func RunPmake8(opts Pmake8Options) Pmake8Result {
 // Balanced: one pmake job per SPU (8 jobs). Unbalanced: SPUs 5-8 run two
 // jobs each (12 jobs).
 func runPmake8Config(scheme core.Scheme, unbalanced bool, opts Pmake8Options, m *Meter) Pmake8Run {
+	opts.Kernel.Profiled = true
 	k := kernel.New(machine.Pmake8(), scheme, opts.Kernel)
 	var spus []*core.SPU
 	for i := 0; i < 8; i++ {
@@ -83,7 +84,11 @@ func runPmake8Config(scheme core.Scheme, unbalanced bool, opts Pmake8Options, m 
 		}
 	}
 	k.Run()
-	m.count(k)
+	config := scheme.String() + "/balanced"
+	if unbalanced {
+		config = scheme.String() + "/unbalanced"
+	}
+	m.observe(k, config)
 	collect := func(jobs []*proc.Process) sim.Time {
 		times := make([]sim.Time, len(jobs))
 		for i, j := range jobs {

@@ -36,6 +36,10 @@ type Output struct {
 	// Metrics holds per-configuration observability summaries for the
 	// experiments that run with the metrics registry on.
 	Metrics []MetricSummary
+	// Attribution holds per-configuration profiler summaries (latency
+	// breakdown per process, cross-SPU interference matrix) for the
+	// experiments that run with the profiler on.
+	Attribution []AttributionSummary
 }
 
 // Rows flattens every section table into machine-readable headline rows
@@ -99,35 +103,35 @@ func Registry() []Spec {
 					fig3.Bars.Labels = append(fig3.Bars.Labels, r.Scheme.String())
 					fig3.Bars.Values = append(fig3.Bars.Values, r.Heavy)
 				}
-				return Output{Sections: []Section{fig2, fig3}, Events: p.Events}
+				return Output{Sections: []Section{fig2, fig3}, Events: p.Events, Attribution: p.Attribution}
 			},
 		},
 		{
 			ID: "fig5", Title: "CPU isolation (Figure 5)",
 			Run: func() Output {
 				r := RunCPUIso(CPUIsoOptions{})
-				return Output{Sections: []Section{{ID: "fig5", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics}
+				return Output{Sections: []Section{{ID: "fig5", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "fig7", Title: "Memory isolation (Figure 7)",
 			Run: func() Output {
 				r := RunMemIso(MemIsoOptions{})
-				return Output{Sections: []Section{{ID: "fig7", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics}
+				return Output{Sections: []Section{{ID: "fig7", Table: r.Table()}}, Events: r.Events, Metrics: r.Metrics, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "tab3", Title: "Disk isolation, pmake-copy (Table 3)",
 			Run: func() Output {
 				r := RunTable3(DiskOptions{})
-				return Output{Sections: []Section{{ID: "tab3", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "tab3", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "tab4", Title: "Disk head position vs fairness (Table 4)",
 			Run: func() Output {
 				r := RunTable4(DiskOptions{})
-				return Output{Sections: []Section{{ID: "tab4", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "tab4", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
@@ -140,70 +144,70 @@ func Registry() []Spec {
 					s.Bars.Labels = append(s.Bars.Labels, row.Scheme.String()+" V", row.Scheme.String()+" S")
 					s.Bars.Values = append(s.Bars.Values, row.Victim, row.Steady)
 				}
-				return Output{Sections: []Section{s}, Events: r.Events, Metrics: r.Metrics}
+				return Output{Sections: []Section{s}, Events: r.Events, Metrics: r.Metrics, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-bwthreshold", Title: "Ablation: BW-difference threshold sweep", Ablation: true,
 			Run: func() Output {
 				r := RunAblationBWThreshold(nil)
-				return Output{Sections: []Section{{ID: "abl-bwthreshold", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-bwthreshold", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-reserve", Title: "Ablation: memory Reserve Threshold sweep", Ablation: true,
 			Run: func() Output {
 				r := RunAblationReserve(nil)
-				return Output{Sections: []Section{{ID: "abl-reserve", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-reserve", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-inodelock", Title: "Ablation: inode-lock granularity", Ablation: true,
 			Run: func() Output {
 				r := RunAblationInodeLock()
-				return Output{Sections: []Section{{ID: "abl-inodelock", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-inodelock", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-pageinsert", Title: "Ablation: page-insert-lock granularity", Ablation: true,
 			Run: func() Output {
 				r := RunAblationPageInsert()
-				return Output{Sections: []Section{{ID: "abl-pageinsert", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-pageinsert", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-revocation", Title: "Ablation: CPU revocation latency", Ablation: true,
 			Run: func() Output {
 				r := RunAblationRevocation()
-				return Output{Sections: []Section{{ID: "abl-revocation", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-revocation", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-affinity", Title: "Ablation: cache pollution and loan limiting", Ablation: true,
 			Run: func() Output {
 				r := RunAblationAffinity()
-				return Output{Sections: []Section{{ID: "abl-affinity", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-affinity", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-gang", Title: "Ablation: gang scheduling", Ablation: true,
 			Run: func() Output {
 				r := RunAblationGang()
-				return Output{Sections: []Section{{ID: "abl-gang", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-gang", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "abl-network", Title: "Ablation: network bandwidth isolation", Ablation: true,
 			Run: func() Output {
 				r := RunAblationNetwork()
-				return Output{Sections: []Section{{ID: "abl-network", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "abl-network", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 		{
 			ID: "server-latency", Title: "Extension: interactive response-time isolation", Ablation: true,
 			Run: func() Output {
 				r := RunServerLatency()
-				return Output{Sections: []Section{{ID: "server-latency", Table: r.Table()}}, Events: r.Events}
+				return Output{Sections: []Section{{ID: "server-latency", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
 	}
@@ -332,6 +336,10 @@ type BenchExperiment struct {
 	// (revocation latency p99, per-SPU CPU share) for instrumented
 	// experiments.
 	Metrics []MetricSummary `json:"metrics,omitempty"`
+	// Attribution embeds the per-configuration profiler summaries
+	// (per-process latency breakdown, interference matrix) for
+	// profiled experiments.
+	Attribution []AttributionSummary `json:"attribution,omitempty"`
 	// Error is set when the experiment panicked instead of finishing.
 	Error string `json:"error,omitempty"`
 }
@@ -352,6 +360,7 @@ func BenchReport(results []Result, parallel int, short bool, wall time.Duration)
 			Events:      r.Output.Events,
 			Rows:        r.Output.Rows(),
 			Metrics:     r.Output.Metrics,
+			Attribution: r.Output.Attribution,
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(e.Events) / s

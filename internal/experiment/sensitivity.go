@@ -50,7 +50,7 @@ func RunSensitivity(loads []int) SensitivityResult {
 // runSensitivityPoint runs the victim job against load background jobs
 // in each of SPUs 5-8 and returns the victim's response time.
 func runSensitivityPoint(scheme core.Scheme, load int, m *Meter) sim.Time {
-	k := kernel.New(machine.Pmake8(), scheme, kernel.Options{})
+	k := kernel.New(machine.Pmake8(), scheme, kernel.Options{Profiled: true})
 	var spus []*core.SPU
 	for i := 0; i < 8; i++ {
 		s := k.NewSPU(fmt.Sprintf("spu%d", i+1), 1)
@@ -74,7 +74,7 @@ func runSensitivityPoint(scheme core.Scheme, load int, m *Meter) sim.Time {
 		}
 	}
 	k.Run()
-	m.count(k)
+	m.observe(k, fmt.Sprintf("%s/load%d", scheme, load))
 	return victim.ResponseTime()
 }
 

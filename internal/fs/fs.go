@@ -147,6 +147,7 @@ func (fs *FileSystem) submit(d *disk.Disk, r *disk.Request) {
 			}
 			fs.Metrics.Counter(metrics.KeyFSRetries, rr.SPU).Inc()
 			fs.Metrics.Counter(metrics.KeyFSBackoffNS, rr.SPU).AddTime(wait)
+			rr.Backoff += wait // profiled separately from genuine queueing
 			fs.eng.CallAfter(wait, "fs.retry", func() { d.Submit(rr) })
 			return
 		}

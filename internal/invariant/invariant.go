@@ -25,6 +25,7 @@ import (
 	"perfiso/internal/disk"
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
+	"perfiso/internal/profile"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
 	"perfiso/internal/trace"
@@ -81,6 +82,10 @@ type Targets struct {
 	Sched *sched.Scheduler
 	Mem   *mem.Manager
 	Disks []*disk.Disk
+	// Profile, when non-nil, adds the profiler's conservation audit:
+	// every finished task's buckets must sum exactly to its response
+	// time (integer nanoseconds, no epsilon).
+	Profile *profile.Profiler
 }
 
 // Auditor runs invariant checks against a machine. In fail-fast mode
@@ -139,6 +144,11 @@ func (a *Auditor) CheckAll(boundary string) {
 	for i, d := range a.t.Disks {
 		if err := d.Audit(); err != nil {
 			a.report(fmt.Sprintf("disk%d", i), NoSPU, boundary, err)
+		}
+	}
+	if a.t.Profile != nil {
+		if err := a.t.Profile.AuditConservation(); err != nil {
+			a.report("profile", NoSPU, boundary, err)
 		}
 	}
 }

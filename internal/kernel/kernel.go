@@ -18,6 +18,7 @@ import (
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
 	"perfiso/internal/proc"
+	"perfiso/internal/profile"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
 	"perfiso/internal/snap"
@@ -79,6 +80,16 @@ type Options struct {
 	// per SPU) are sampled at this period on the simulation clock and
 	// exportable as JSONL or a Chrome trace (see internal/metrics).
 	MetricsPeriod sim.Time
+	// Profiled turns on the simulated-time profiler (internal/profile):
+	// every thread's simulated nanoseconds are accounted to per-SPU
+	// (resource, state) buckets, per-request span trees are recorded, and
+	// cross-SPU interference is attributed to its culprit SPU. Off by
+	// default; when off the hot paths pay only a nil check.
+	Profiled bool
+	// ProfileSpanCapacity bounds the profiler's span ring
+	// (profile.DefaultSpanCapacity when zero). Aggregates are unaffected
+	// by the cap; only the per-span log wraps.
+	ProfileSpanCapacity int
 	// Horizon aborts the simulation if processes are still alive after
 	// this much simulated time (default 3600 s) — a hang detector.
 	Horizon sim.Time
@@ -151,6 +162,7 @@ type Kernel struct {
 	timeline *stats.Timeline
 	injector *fault.Injector
 	metrics  *metrics.Registry
+	profiler *profile.Profiler
 	auditor  *invariant.Auditor
 	watchdog *invariant.Watchdog
 }
@@ -204,13 +216,20 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 		k.mm.Metrics = k.metrics
 		k.fsys.Metrics = k.metrics
 	}
+	if opts.Profiled {
+		k.profiler = profile.New(eng, opts.ProfileSpanCapacity)
+		for _, d := range k.disks {
+			d.Profile = k.profiler
+		}
+	}
 	if !opts.AuditDisabled {
 		k.auditor = invariant.New(invariant.Targets{
-			Eng:   eng,
-			SPUs:  spus,
-			Sched: k.sch,
-			Mem:   k.mm,
-			Disks: k.disks,
+			Eng:     eng,
+			SPUs:    spus,
+			Sched:   k.sch,
+			Mem:     k.mm,
+			Disks:   k.disks,
+			Profile: k.profiler,
 		})
 		k.auditor.Collect = opts.AuditCollect
 		k.auditor.Metrics = k.metrics
@@ -431,6 +450,11 @@ func (k *Kernel) registerSeries() {
 // Metrics returns the metrics registry, or nil when observability is off.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 
+// Profile implements proc.Env: it returns the simulated-time profiler,
+// or nil when profiling is off. Processes started on this kernel (and
+// their forked children) register their threads with it.
+func (k *Kernel) Profile() *profile.Profiler { return k.profiler }
+
 // MetricNames maps every SPU id (kernel, shared, users) to its name for
 // metric and trace exports.
 func (k *Kernel) MetricNames() metrics.Names {
@@ -451,7 +475,60 @@ func (k *Kernel) WriteMetrics(w io.Writer) error {
 // per SPU from the sampled series, plus the decision tracer's events as
 // instant markers when tracing is on. A no-op when observability is off.
 func (k *Kernel) WriteChromeTrace(w io.Writer) error {
-	return k.metrics.WriteChromeTrace(w, k.tracer.Events(), k.MetricNames())
+	return k.metrics.WriteChromeTraceWithSpans(w, k.tracer.Events(), k.MetricNames(), k.profileSpanEvents())
+}
+
+// WriteProfile writes the profiler's buckets and interference matrix as
+// a gzipped pprof profile (folded stacks spu;resource;state). An error
+// when profiling is off.
+func (k *Kernel) WriteProfile(w io.Writer) error {
+	if k.profiler == nil {
+		return fmt.Errorf("kernel: profiling is off (Options.Profiled)")
+	}
+	return k.profiler.WritePprof(w)
+}
+
+// WriteSpans writes the profiler's per-request spans as deterministic
+// JSONL. An error when profiling is off.
+func (k *Kernel) WriteSpans(w io.Writer) error {
+	if k.profiler == nil {
+		return fmt.Errorf("kernel: profiling is off (Options.Profiled)")
+	}
+	return k.profiler.WriteSpans(w)
+}
+
+// profileSpanEvents converts the profiler's spans into the metrics
+// exporter's neutral form, so they render as duration slices (with flow
+// arrows from disk service to the stall it resolved) in the Chrome
+// trace. Nil when profiling is off.
+func (k *Kernel) profileSpanEvents() []metrics.SpanEvent {
+	if k.profiler == nil {
+		return nil
+	}
+	spans := k.profiler.Spans()
+	out := make([]metrics.SpanEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := metrics.SpanEvent{
+			Name:  s.Name,
+			SPU:   s.SPU,
+			Track: s.Proc,
+			Start: s.Start,
+			End:   s.End,
+		}
+		if s.Culprit != s.SPU {
+			ev.Culprit = profile.SPUName(s.Culprit)
+		}
+		if s.Flow != 0 {
+			ev.FlowID = s.Flow
+			ev.FlowIn = true
+		}
+		if s.Name == "disk:service" {
+			ev.FlowID = s.ID
+			ev.FlowOut = true
+		}
+		out = append(out, ev)
+	}
+	return out
 }
 
 // UsageTable summarizes the sampled per-SPU series, or nil when
@@ -542,6 +619,11 @@ func (k *Kernel) Run() sim.Time {
 		t.Stop()
 	}
 	k.eng.Run() // drain in-flight IO and daemons
+	if k.auditor != nil {
+		// One last sweep after the drain: the final exits (and any profile
+		// conservation violations they record) happen after the last tick.
+		k.auditor.CheckAll("final")
+	}
 	return end
 }
 
@@ -681,6 +763,7 @@ func (k *Kernel) submitRetry(d *disk.Disk, r *disk.Request) {
 			}
 			k.metrics.Counter(metrics.KeySwapRetries, rr.SPU).Inc()
 			k.metrics.Counter(metrics.KeySwapBackoffNS, rr.SPU).AddTime(wait)
+			rr.Backoff += wait // profiled separately from genuine queueing
 			k.tracer.Emitf(trace.Fault, fmt.Sprintf("spu%d", rr.SPU), "swap-retry",
 				"%s of %d sectors failed, retrying in %v", rr.Kind, rr.Count, wait)
 			k.eng.CallAfter(wait, "kernel.swap-retry", func() { d.Submit(rr) })

@@ -304,6 +304,34 @@ func (m *Manager) Touch(p *Page, by core.SPUID) {
 // MarkDirty flags the page as needing write-back before reuse.
 func (m *Manager) MarkDirty(p *Page) { p.Dirty = true }
 
+// Culprit identifies the SPU to blame when victim stalls waiting for
+// frames, for the profiler's interference matrix. Under ShareAll no
+// per-SPU limits exist, so the biggest frame holder other than the
+// victim is in the way; under the isolating policies only an SPU using
+// more than its entitlement (frames on loan that reclaim must claw
+// back) can be blamed. If nobody qualifies the stall is self-inflicted
+// and the victim itself is returned, which the profiler treats as
+// no-theft. Deterministic: Users() iterates in creation order and ties
+// keep the first maximum.
+func (m *Manager) Culprit(victim core.SPUID) core.SPUID {
+	shareAll := m.spus.Get(victim).Policy() == core.ShareAll
+	best := victim
+	var bestScore float64
+	for _, u := range m.spus.Users() {
+		if u.ID() == victim {
+			continue
+		}
+		score := u.Used(core.Memory)
+		if !shareAll {
+			score -= u.Entitled(core.Memory)
+		}
+		if score > bestScore {
+			best, bestScore = u.ID(), score
+		}
+	}
+	return best
+}
+
 // Waiters returns the number of queued allocation requests.
 func (m *Manager) Waiters() int { return len(m.waiters) }
 

@@ -199,6 +199,51 @@ type chromeInstantArgs struct {
 	Detail  string `json:"detail,omitempty"`
 }
 
+// SpanEvent is a timed interval handed to the Chrome-trace exporter by
+// an outside producer (the simulated-time profiler). It is deliberately
+// decoupled from that producer's types so metrics stays a leaf of the
+// observability layer. Track names the thread row within the SPU's
+// process; Culprit, when non-empty, is attached as an argument on the
+// slice. FlowOut marks the span as a flow source under FlowID, FlowIn
+// as a flow target — the exporter draws the arrow between them.
+type SpanEvent struct {
+	Name    string
+	SPU     core.SPUID
+	Track   string
+	Start   sim.Time
+	End     sim.Time
+	Culprit string
+	FlowID  int64
+	FlowIn  bool
+	FlowOut bool
+}
+
+type chromeComplete struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	PH   string             `json:"ph"`
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	TS   float64            `json:"ts"`
+	Dur  float64            `json:"dur"`
+	Args *chromeCompleteArg `json:"args,omitempty"`
+}
+
+type chromeCompleteArg struct {
+	Culprit string `json:"culprit"`
+}
+
+type chromeFlow struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	PH   string  `json:"ph"`
+	ID   int64   `json:"id"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	TS   float64 `json:"ts"`
+	BP   string  `json:"bp,omitempty"`
+}
+
 // pid maps an SPU to its Chrome-trace process track. Track 0 is the
 // machine; SPU n (including the kernel SPU 0) gets track n+1.
 func pid(spu core.SPUID) int {
@@ -219,6 +264,16 @@ func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
 // concern. Output is one event per line for diffability and is
 // byte-deterministic for a given run.
 func (r *Registry) WriteChromeTrace(w io.Writer, events []trace.Event, names Names) error {
+	return r.WriteChromeTraceWithSpans(w, events, names, nil)
+}
+
+// WriteChromeTraceWithSpans is WriteChromeTrace plus profiler spans:
+// each span becomes a complete ("X") duration slice on a named thread
+// row of its SPU's process track, and flow arrows ("s"/"f") connect a
+// flow source (a disk service span) to the stalls it resolved. Spans
+// are rendered in the order given, which for the profiler is simulation
+// order, so output stays byte-deterministic.
+func (r *Registry) WriteChromeTraceWithSpans(w io.Writer, events []trace.Event, names Names, spans []SpanEvent) error {
 	if r == nil {
 		return nil
 	}
@@ -285,6 +340,50 @@ func (r *Registry) WriteChromeTrace(w io.Writer, events []trace.Event, names Nam
 			Args: chromeInstantArgs{Subject: e.Subject, Detail: e.Detail},
 		}); err != nil {
 			return err
+		}
+	}
+
+	// Profiler spans as duration slices, one named thread row per
+	// (SPU, track) pair in first-appearance order, with flow arrows
+	// from each flow source to its targets.
+	type trackKey struct {
+		pid   int
+		track string
+	}
+	tids := make(map[trackKey]int)
+	for _, s := range spans {
+		p := pid(s.SPU)
+		key := trackKey{p, s.Track}
+		tid, ok := tids[key]
+		if !ok {
+			tid = len(tids) + 1
+			tids[key] = tid
+			if err := emit(chromeMeta{Name: "thread_name", PH: "M", PID: p, TID: tid,
+				Args: chromeMetaArgs{Name: s.Track}}); err != nil {
+				return err
+			}
+		}
+		ev := chromeComplete{
+			Name: s.Name, Cat: "span", PH: "X", PID: p, TID: tid,
+			TS: usec(s.Start), Dur: usec(s.End - s.Start),
+		}
+		if s.Culprit != "" {
+			ev.Args = &chromeCompleteArg{Culprit: s.Culprit}
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+		if s.FlowOut {
+			if err := emit(chromeFlow{Name: s.Name, Cat: "flow", PH: "s",
+				ID: s.FlowID, PID: p, TID: tid, TS: usec(s.End)}); err != nil {
+				return err
+			}
+		}
+		if s.FlowIn {
+			if err := emit(chromeFlow{Name: s.Name, Cat: "flow", PH: "f", BP: "e",
+				ID: s.FlowID, PID: p, TID: tid, TS: usec(s.End)}); err != nil {
+				return err
+			}
 		}
 	}
 	_, err := io.WriteString(w, "\n]}\n")

@@ -16,6 +16,7 @@ import (
 	"perfiso/internal/core"
 	"perfiso/internal/fs"
 	"perfiso/internal/mem"
+	"perfiso/internal/profile"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
 )
@@ -31,6 +32,10 @@ type Env interface {
 	// done when they are in memory (the frames themselves must already
 	// have been allocated by the caller).
 	SwapIn(spu core.SPUID, pages int, done func())
+	// Profile returns the kernel's simulated-time profiler, or nil when
+	// profiling is off. Processes register themselves with it at Start —
+	// through the Env so forked children are profiled too.
+	Profile() *profile.Profiler
 }
 
 // State is a process's lifecycle state.
@@ -57,6 +62,7 @@ type Process struct {
 
 	thread *sched.Thread
 	state  State
+	prof   *profile.Task
 
 	// Working set.
 	resident  []*mem.Page
@@ -110,6 +116,8 @@ func (p *Process) Start() {
 	}
 	p.state = Running
 	p.Started = p.env.Engine().Now()
+	p.prof = p.env.Profile().Begin(p.Name, p.SPU)
+	p.thread.Prof = p.prof
 	p.advance()
 }
 
@@ -135,6 +143,9 @@ func (p *Process) advance() {
 	}
 	step := p.steps[p.pc]
 	p.pc++
+	if p.prof != nil {
+		p.prof.BeginStep(stepLabel(step))
+	}
 	step.run(p)
 }
 
@@ -145,6 +156,7 @@ func (p *Process) next() { p.advance() }
 func (p *Process) exit() {
 	p.state = Exited
 	p.Finished = p.env.Engine().Now()
+	p.prof.Finish()
 	// Detach the resident set before freeing: each Free may wake memory
 	// waiters whose allocations reclaim other pages of this very set.
 	pages := p.resident
@@ -184,6 +196,12 @@ func (p *Process) ensureResident(done func()) {
 		done()
 		return
 	}
+	if p.prof != nil {
+		// The stall is charged to memory; blame whoever is squatting on
+		// frames beyond their entitlement right now (a snapshot — the
+		// picture when the wait began, which is when blame was incurred).
+		p.prof.To(profile.StateMemWait, p.env.Memory().Culprit(p.SPU))
+	}
 	needSwap := missing
 	if needSwap > p.swapped {
 		needSwap = p.swapped
@@ -197,6 +215,7 @@ func (p *Process) ensureResident(done func()) {
 			p.SwapIns += int64(needSwap)
 			p.touchAll()
 			if needSwap > 0 {
+				p.prof.To(profile.StateSwap, p.SPU)
 				p.env.SwapIn(p.SPU, needSwap, done)
 			} else {
 				done()

@@ -7,6 +7,7 @@ import (
 	"perfiso/internal/disk"
 	"perfiso/internal/fs"
 	"perfiso/internal/mem"
+	"perfiso/internal/profile"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
 )
@@ -20,12 +21,14 @@ type testEnv struct {
 	filesys *fs.FileSystem
 	d       *disk.Disk
 	al      *fs.Allocator
+	prof    *profile.Profiler
 }
 
 func (e *testEnv) Engine() *sim.Engine         { return e.eng }
 func (e *testEnv) Scheduler() *sched.Scheduler { return e.sch }
 func (e *testEnv) Memory() *mem.Manager        { return e.mm }
 func (e *testEnv) FS() *fs.FileSystem          { return e.filesys }
+func (e *testEnv) Profile() *profile.Profiler  { return e.prof }
 func (e *testEnv) SwapIn(spu core.SPUID, pages int, done func()) {
 	// One clustered read from the tail of the disk per 4 pages.
 	reqs := (pages + 3) / 4

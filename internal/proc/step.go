@@ -2,12 +2,42 @@ package proc
 
 import (
 	"perfiso/internal/fs"
+	"perfiso/internal/profile"
 	"perfiso/internal/sim"
 )
 
 // Step is one instruction of a process program.
 type Step interface {
 	run(p *Process)
+}
+
+// stepLabel names a step for its profiler span. Step implementations
+// are closed (run is unexported), so the switch is exhaustive.
+func stepLabel(s Step) string {
+	switch s.(type) {
+	case Compute:
+		return "compute"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Meta:
+		return "meta"
+	case Lookup:
+		return "lookup"
+	case Touch:
+		return "touch"
+	case Fork:
+		return "fork"
+	case WaitChildren:
+		return "wait"
+	case Sleep:
+		return "sleep"
+	case BarrierStep:
+		return "barrier"
+	default:
+		return "step"
+	}
 }
 
 // Compute consumes D of CPU time through the scheduler, after making
@@ -37,6 +67,7 @@ type Read struct {
 }
 
 func (s Read) run(p *Process) {
+	p.prof.To(profile.StateDiskWait, p.SPU)
 	p.env.FS().Read(p.SPU, s.File, s.Off, s.N, p.next)
 }
 
@@ -48,6 +79,10 @@ type Write struct {
 }
 
 func (s Write) run(p *Process) {
+	// Delayed writes block only on frame allocation, never the disk.
+	if p.prof != nil {
+		p.prof.To(profile.StateMemWait, p.env.Memory().Culprit(p.SPU))
+	}
 	p.env.FS().Write(p.SPU, s.File, s.Off, s.N, p.next)
 }
 
@@ -57,6 +92,7 @@ type Meta struct {
 }
 
 func (s Meta) run(p *Process) {
+	p.prof.To(profile.StateDiskWait, p.SPU)
 	p.env.FS().MetaUpdate(p.SPU, s.File, p.next)
 }
 
@@ -64,6 +100,7 @@ func (s Meta) run(p *Process) {
 type Lookup struct{}
 
 func (s Lookup) run(p *Process) {
+	p.prof.To(profile.StateSync, p.SPU)
 	p.env.FS().Lookup(p.SPU, p.next)
 }
 
@@ -98,6 +135,7 @@ func (s WaitChildren) run(p *Process) {
 		p.next()
 		return
 	}
+	p.prof.To(profile.StateSync, p.SPU)
 	p.waitingKids = true
 }
 
@@ -108,6 +146,7 @@ type Sleep struct {
 }
 
 func (s Sleep) run(p *Process) {
+	p.prof.To(profile.StateSleep, p.SPU)
 	p.env.Engine().CallAfter(s.D, "proc.sleep", p.next)
 }
 
@@ -151,6 +190,7 @@ type BarrierStep struct {
 }
 
 func (s BarrierStep) run(p *Process) {
+	p.prof.To(profile.StateSync, p.SPU)
 	s.B.Arrive(p.next)
 }
 

@@ -1,0 +1,132 @@
+package profile_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/machine"
+	"perfiso/internal/profile"
+	"perfiso/internal/sim"
+	"perfiso/internal/workload"
+)
+
+// interferenceRun builds the memory-isolation machine (4 CPUs split two
+// home CPUs per user SPU) with a steady SPU whose two pure-compute
+// threads keep its home CPUs busy end to end, and a noisy SPU that
+// oversubscribes with six threads. Under PIso the steady SPU's CPUs are
+// never idle, so they are never lent and nothing can be stolen from it;
+// under SMP all eight threads share one global run queue and the noisy
+// SPU's surplus demonstrably steals steady's CPU time.
+func interferenceRun(t *testing.T, scheme core.Scheme) (*kernel.Kernel, core.SPUID, core.SPUID) {
+	t.Helper()
+	k := kernel.New(machine.MemoryIsolation(), scheme, kernel.Options{Profiled: true})
+	steady := k.NewSPU("steady", 1)
+	noisy := k.NewSPU("noisy", 1)
+	k.Boot()
+	params := workload.ComputeParams{Total: 1 * sim.Second, Chunk: 50 * sim.Millisecond}
+	for i := 0; i < 2; i++ {
+		k.Spawn(workload.ComputeBound(k, steady.ID(), fmt.Sprintf("steady%d", i), params))
+	}
+	for i := 0; i < 6; i++ {
+		k.Spawn(workload.ComputeBound(k, noisy.ID(), fmt.Sprintf("noisy%d", i), params))
+	}
+	k.Run()
+	return k, steady.ID(), noisy.ID()
+}
+
+// TestIsolationVsSharingTheft is the paper's isolation claim read off
+// the interference matrix: PIso steals nothing from a busy victim SPU
+// while SMP visibly does.
+func TestIsolationVsSharingTheft(t *testing.T) {
+	k, steady, noisy := interferenceRun(t, core.PIso)
+	p := k.Profile()
+	if got := p.StolenFrom(steady, profile.CPU); got != 0 {
+		t.Errorf("PIso: %v of CPU time stolen from the steady SPU, want 0", got)
+	}
+	if got := p.StolenFrom(steady, profile.Memory); got != 0 {
+		t.Errorf("PIso: %v of memory time stolen from the steady SPU, want 0", got)
+	}
+
+	k, steady, noisy = interferenceRun(t, core.SMP)
+	p = k.Profile()
+	if got := p.Stolen(steady, noisy, profile.CPU); got <= 0 {
+		t.Errorf("SMP: noisy SPU stole %v of CPU from steady, want > 0", got)
+	}
+}
+
+// TestKernelConservation: with the full kernel in the loop (scheduler,
+// memory manager, disk, process steps) every finished process's buckets
+// still sum to its response time to the nanosecond, on every scheme.
+func TestKernelConservation(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SMP, core.Quo, core.PIso} {
+		k, _, _ := interferenceRun(t, scheme)
+		p := k.Profile()
+		recs := p.Tasks()
+		if len(recs) != 8 {
+			t.Fatalf("%v: %d task records, want 8", scheme, len(recs))
+		}
+		for _, r := range recs {
+			var sum sim.Time
+			for s := profile.State(0); s < profile.NumStates; s++ {
+				sum += r.Buckets[s]
+			}
+			if resp := r.Finished - r.Started; sum != resp {
+				t.Errorf("%v %s: buckets sum %v != response %v", scheme, r.Proc, sum, resp)
+			}
+		}
+		if v := p.Violations(); v != 0 {
+			t.Errorf("%v: %d conservation violations", scheme, v)
+		}
+	}
+}
+
+// TestKernelExportsDeterministic: two identical kernels emit
+// byte-identical span JSONL and pprof profiles.
+func TestKernelExportsDeterministic(t *testing.T) {
+	k1, _, _ := interferenceRun(t, core.PIso)
+	k2, _, _ := interferenceRun(t, core.PIso)
+	var s1, s2, p1, p2 bytes.Buffer
+	if err := k1.WriteSpans(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.WriteSpans(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Error("identical runs produced different span JSONL")
+	}
+	if s1.Len() == 0 {
+		t.Error("span JSONL is empty")
+	}
+	if err := k1.WriteProfile(&p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.WriteProfile(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+		t.Error("identical runs produced different pprof profiles")
+	}
+}
+
+// TestExportsRequireProfiling: the kernel refuses to export when
+// Options.Profiled was off, instead of writing empty artifacts.
+func TestExportsRequireProfiling(t *testing.T) {
+	k := kernel.New(machine.MemoryIsolation(), core.PIso, kernel.Options{})
+	k.NewSPU("u", 1)
+	k.Boot()
+	k.Run()
+	var buf bytes.Buffer
+	if err := k.WriteProfile(&buf); err == nil {
+		t.Error("WriteProfile succeeded without Options.Profiled")
+	}
+	if err := k.WriteSpans(&buf); err == nil {
+		t.Error("WriteSpans succeeded without Options.Profiled")
+	}
+	if k.Profile() != nil {
+		t.Error("Profile() non-nil without Options.Profiled")
+	}
+}

@@ -1,0 +1,197 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the aggregate buckets and the interference matrix
+// as a gzipped pprof protobuf profile, hand-encoded so the repo needs
+// no protobuf dependency. Each bucket becomes one sample with the
+// folded stack spu;resource;state (root to leaf) valued in simulated
+// nanoseconds; each interference cell becomes a sample with the stack
+// spu;resource;stolen and a "culprit" string label naming the thief.
+// The profile is deterministic: time_nanos stays zero, strings are
+// interned in a fixed traversal order, and sample order follows the
+// sorted Totals/Interference views.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.encodePprof()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// pprof.proto field numbers used below.
+const (
+	profSampleType = 1
+	profSample     = 2
+	profLocation   = 4
+	profFunction   = 5
+	profStringTab  = 6
+	profPeriodType = 11
+	profPeriod     = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+
+	labelKey = 1
+	labelStr = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	fnID   = 1
+	fnName = 2
+)
+
+// encodePprof builds the uncompressed profile message.
+func (p *Profiler) encodePprof() []byte {
+	e := &pprofEncoder{strings: map[string]int64{"": 0}, order: []string{""}, frames: map[string]uint64{}}
+
+	var out protoBuf
+	// sample_type and period_type: simulated time in nanoseconds.
+	var vt protoBuf
+	vt.int64Field(vtType, e.str("time"))
+	vt.int64Field(vtUnit, e.str("nanoseconds"))
+	out.bytesField(profSampleType, vt.b)
+	out.bytesField(profPeriodType, vt.b)
+	out.int64Field(profPeriod, 1)
+
+	for _, t := range p.Totals() {
+		var s protoBuf
+		s.packedUint64Field(sampleLocationID, []uint64{
+			e.frame(t.State.String()),
+			e.frame(t.State.Resource().String()),
+			e.frame(SPUName(t.SPU)),
+		})
+		s.packedInt64Field(sampleValue, []int64{int64(t.Time)})
+		out.bytesField(profSample, s.b)
+	}
+	for _, th := range p.Interference() {
+		var lb protoBuf
+		lb.int64Field(labelKey, e.str("culprit"))
+		lb.int64Field(labelStr, e.str(SPUName(th.Culprit)))
+		var s protoBuf
+		s.packedUint64Field(sampleLocationID, []uint64{
+			e.frame("stolen"),
+			e.frame(th.Resource.String()),
+			e.frame(SPUName(th.Victim)),
+		})
+		s.packedInt64Field(sampleValue, []int64{int64(th.Stolen)})
+		s.bytesField(sampleLabel, lb.b)
+		out.bytesField(profSample, s.b)
+	}
+
+	// One location and one function per unique frame name, ids 1:1.
+	for i, name := range e.frameOrder {
+		id := uint64(i + 1)
+		var ln protoBuf
+		ln.uint64Field(lineFunctionID, id)
+		var loc protoBuf
+		loc.uint64Field(locID, id)
+		loc.bytesField(locLine, ln.b)
+		out.bytesField(profLocation, loc.b)
+		var fn protoBuf
+		fn.uint64Field(fnID, id)
+		fn.int64Field(fnName, e.str(name))
+		out.bytesField(profFunction, fn.b)
+	}
+	for _, s := range e.order {
+		out.stringField(profStringTab, s)
+	}
+	return out.b
+}
+
+// pprofEncoder interns strings and stack frames in first-use order.
+type pprofEncoder struct {
+	strings    map[string]int64
+	order      []string
+	frames     map[string]uint64
+	frameOrder []string
+}
+
+func (e *pprofEncoder) str(s string) int64 {
+	if i, ok := e.strings[s]; ok {
+		return i
+	}
+	i := int64(len(e.order))
+	e.strings[s] = i
+	e.order = append(e.order, s)
+	return i
+}
+
+func (e *pprofEncoder) frame(name string) uint64 {
+	if id, ok := e.frames[name]; ok {
+		return id
+	}
+	e.str(name)
+	id := uint64(len(e.frameOrder) + 1)
+	e.frames[name] = id
+	e.frameOrder = append(e.frameOrder, name)
+	return id
+}
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *protoBuf) packedUint64Field(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+func (p *protoBuf) packedInt64Field(field int, vs []int64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	p.bytesField(field, inner.b)
+}

@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// Span is one timed interval: a process step ("step:compute"), a state
+// segment within it ("runnable", "diskwait", ...), or a disk request
+// ("disk:read" with "disk:queue"/"disk:service" children). Parent links
+// segments to their step (0 = root); Flow links a wait span to the disk
+// service span that resolved it, so the Chrome-trace export can draw an
+// arrow from the culprit's activity to the victim's stall.
+type Span struct {
+	ID      int64
+	Parent  int64
+	SPU     core.SPUID
+	Proc    string
+	Name    string
+	Culprit core.SPUID
+	Start   sim.Time
+	End     sim.Time
+	Flow    int64
+}
+
+// DiskSpans records the span tree for one completed disk request: a
+// root "disk:read"/"disk:write" span over the request's lifetime, a
+// "disk:queue" child while it sat behind other requests (labelled with
+// the culprit SPU served ahead of it), and a "disk:service" child for
+// the transfer itself. It returns the service span's ID, which the
+// completion window hands to waiters as their flow link.
+func (p *Profiler) DiskSpans(spu core.SPUID, kind string, submitted, started, finished sim.Time, culprit core.SPUID) int64 {
+	if p == nil {
+		return 0
+	}
+	root := p.allocID()
+	p.emit(Span{ID: root, SPU: spu, Proc: "disk", Name: "disk:" + kind,
+		Culprit: culprit, Start: submitted, End: finished})
+	if started > submitted {
+		p.emit(Span{ID: p.allocID(), Parent: root, SPU: spu, Proc: "disk", Name: "disk:queue",
+			Culprit: culprit, Start: submitted, End: started})
+	}
+	svc := p.allocID()
+	p.emit(Span{ID: svc, Parent: root, SPU: spu, Proc: "disk", Name: "disk:service",
+		Culprit: spu, Start: started, End: finished})
+	return svc
+}
+
+// WriteSpans writes the stored spans as deterministic JSONL: a header
+// line with counts, then one object per span, oldest-first. All times
+// are integer simulated nanoseconds; nothing depends on the wall clock.
+func (p *Profiler) WriteSpans(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	spans := p.Spans()
+	fmt.Fprintf(bw, `{"spans":%d,"dropped":%d}`+"\n", len(spans), p.SpansDropped())
+	for _, s := range spans {
+		fmt.Fprintf(bw,
+			`{"id":%d,"parent":%d,"spu":%d,"proc":%q,"name":%q,"culprit":%d,"start":%d,"end":%d,"flow":%d}`+"\n",
+			s.ID, s.Parent, int(s.SPU), s.Proc, s.Name, int(s.Culprit),
+			int64(s.Start), int64(s.End), s.Flow)
+	}
+	return bw.Flush()
+}

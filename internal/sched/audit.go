@@ -64,7 +64,16 @@ func (s *Scheduler) AuditInvariants() error {
 			if t.gang != nil {
 				continue // gangs wait for whole-gang placement by design
 			}
-			if wait := now - t.readySince; wait > 2*TickPeriod {
+			// The wait counts from when the CPU last became this SPU's
+			// home, not from readySince: a fault-driven AssignHomes can
+			// hand a loaned CPU to an SPU whose threads were already
+			// waiting, and the revocation bound only holds from that
+			// hand-over.
+			since := t.readySince
+			if c.rehomed > since {
+				since = c.rehomed
+			}
+			if wait := now - since; wait > 2*TickPeriod {
 				return fmt.Errorf("sched audit: cpu%d still loaned to spu%d while home spu%d thread %q has waited %s (revocation bound is one tick)",
 					c.idx, c.cur.SPU, c.home, t.Name, wait)
 			}

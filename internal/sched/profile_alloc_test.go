@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/profile"
+	"perfiso/internal/sim"
+)
+
+// The profiler must be free when off: every operation the instrumented
+// sites perform against a nil task or profiler — state transitions,
+// step boundaries, finish, theft charges, disk windows — allocates
+// nothing.
+func TestNilProfilerOperationsAllocationFree(t *testing.T) {
+	var task *profile.Task
+	var p *profile.Profiler
+	allocs := testing.AllocsPerRun(1000, func() {
+		task.To(profile.StateRun, core.FirstUserID)
+		task.To(profile.StateRunnable, core.FirstUserID+1)
+		task.BeginStep("compute")
+		task.Finish()
+		p.AddTheft(core.FirstUserID, core.FirstUserID+1, profile.CPU, sim.Millisecond)
+		p.BeginDiskWindow(0, sim.Millisecond, 0, core.FirstUserID, 0)
+		p.EndDiskWindow()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-profiler operations allocate %.1f times per call", allocs)
+	}
+}
+
+// The hot dispatch path with profiling off must allocate exactly as
+// much as it did before the profiler hooks existed: threads carry a nil
+// Prof, so the hooks (including the culprit scans, which are gated on
+// Prof != nil) must add nothing to the dispatch storm.
+func TestNilProfilerAddsNoDispatchAllocations(t *testing.T) {
+	engNil, _, _ := stormMachine(false)
+	engBase, _, _ := stormMachine(false)
+	a := steadyStateAllocs(engNil)
+	b := steadyStateAllocs(engBase)
+	if a != b {
+		t.Fatalf("identical nil-profiler machines diverged: %.1f vs %.1f allocs/10ms", a, b)
+	}
+	if a > 8 {
+		t.Fatalf("dispatch storm allocates %.1f/10ms with profiling off; hooks must be free when off", a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"perfiso/internal/core"
 	"perfiso/internal/metrics"
+	"perfiso/internal/profile"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
@@ -47,6 +48,7 @@ type cpu struct {
 	lastThread  *Thread  // cache ownership: who ran here most recently
 	lastRevoke  sim.Time // when a loan was last revoked (rate limiter)
 	everRevoked bool
+	rehomed     sim.Time // when AssignHomes last changed this CPU's home
 }
 
 // Options configures a Scheduler.
@@ -156,6 +158,19 @@ func (s *Scheduler) AssignHomes() {
 	if len(users) == 0 {
 		return
 	}
+	oldHomes := make([]core.SPUID, len(s.cpus))
+	for i, c := range s.cpus {
+		oldHomes[i] = c.home
+	}
+	defer func() {
+		// Stamp re-homed CPUs: revocation-latency bounds (and their
+		// audit) only hold from the moment the current topology exists.
+		for i, c := range s.cpus {
+			if c.home != oldHomes[i] {
+				c.rehomed = s.eng.Now()
+			}
+		}
+	}()
 	// Only online CPUs are divided up; an offlined CPU (fault injection)
 	// is parked at the kernel SPU and excluded from rotation, so
 	// entitlements shrink to the machine that actually exists.
@@ -351,6 +366,7 @@ func (s *Scheduler) rotate() {
 		}
 		if c.home != best {
 			c.home = best
+			c.rehomed = s.eng.Now()
 			// A re-homed CPU running a now-foreign thread treats it as a
 			// loan, to be revoked by the normal path if the new home SPU
 			// has work.
@@ -374,8 +390,37 @@ func (s *Scheduler) Wake(t *Thread) {
 	}
 	t.runnable = true
 	t.readySince = s.eng.Now()
+	if t.Prof != nil {
+		t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
+	}
 	s.runq[t.SPU] = append(s.runq[t.SPU], t)
 	s.tryDispatchThread(t)
+}
+
+// cpuCulprit identifies the SPU to blame when a thread of victim has to
+// wait for a CPU: whoever occupies a CPU the victim would otherwise be
+// entitled to run on. Under ShareAll (the SMP single runqueue) every
+// CPU is fair game, so the first foreign occupant is the culprit; under
+// the isolating policies only a victim-homed CPU running a foreign
+// thread (an outstanding loan) counts. If nobody foreign is in the way
+// the wait is self-inflicted (victim's own threads saturate its share)
+// and the victim itself is returned, which the profiler treats as
+// no-theft. The index-order scan keeps attribution deterministic.
+func (s *Scheduler) cpuCulprit(victim core.SPUID) core.SPUID {
+	if s.spus.Get(victim).Policy() == core.ShareAll {
+		for _, c := range s.cpus {
+			if c.cur != nil && c.cur.SPU != victim {
+				return c.cur.SPU
+			}
+		}
+		return victim
+	}
+	for _, c := range s.cpus {
+		if c.home == victim && c.cur != nil && c.cur.SPU != victim {
+			return c.cur.SPU
+		}
+	}
+	return victim
 }
 
 // Exit marks a thread permanently done; it must not be running.
@@ -543,6 +588,9 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 	c.lastThread = t
 	t.running = true
 	t.cpu = c.idx
+	if t.Prof != nil {
+		t.Prof.To(profile.StateRun, t.SPU)
+	}
 	t.WaitTime.AddTime(now - t.readySince)
 	c.cur = t
 	c.loan = loan
@@ -604,6 +652,9 @@ func (s *Scheduler) sliceEnd(c *cpu) {
 		// Slice expired: back on the runqueue.
 		t.runnable = true
 		t.readySince = s.eng.Now()
+		if t.Prof != nil {
+			t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
+		}
 		s.runq[t.SPU] = append(s.runq[t.SPU], t)
 		s.Stat.Preemptions++
 		s.dispatch(c)
@@ -623,9 +674,12 @@ func (s *Scheduler) preempt(c *cpu) {
 	t.cpu = -1
 	t.runnable = true
 	t.readySince = s.eng.Now()
-	s.runq[t.SPU] = append(s.runq[t.SPU], t)
 	c.cur = nil
 	c.loan = false
+	if t.Prof != nil {
+		t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
+	}
+	s.runq[t.SPU] = append(s.runq[t.SPU], t)
 	s.Stat.Preemptions++
 }
 

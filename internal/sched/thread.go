@@ -20,6 +20,7 @@ package sched
 
 import (
 	"perfiso/internal/core"
+	"perfiso/internal/profile"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 )
@@ -51,6 +52,11 @@ type Thread struct {
 	// Statistics.
 	CPUTime  sim.Time     // total CPU time consumed
 	WaitTime stats.Sample // runnable -> running latencies, seconds
+
+	// Prof, when non-nil, receives the thread's run/runnable transitions
+	// (with the culprit SPU holding the CPU on waits). Nil costs nothing:
+	// the scheduler only computes culprits when Prof is set.
+	Prof *profile.Task
 }
 
 // Runnable reports whether the thread is on a runqueue or running.

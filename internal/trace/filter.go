@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseKinds parses a comma-separated list of kind names ("sched,mem")
+// into Kinds. Names are matched case-insensitively against Kind.String;
+// an empty string parses to nil (no filter).
+func ParseKinds(csv string) ([]Kind, error) {
+	csv = strings.TrimSpace(csv)
+	if csv == "" {
+		return nil, nil
+	}
+	var out []Kind
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		found := false
+		for k := Kind(0); k < NumKinds; k++ {
+			if k.String() == name {
+				out = append(out, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trace: unknown kind %q (want one of %s)", name, kindNames())
+		}
+	}
+	return out, nil
+}
+
+func kindNames() string {
+	names := make([]string, NumKinds)
+	for k := Kind(0); k < NumKinds; k++ {
+		names[k] = k.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// FilterEvents returns the events matching the kind set (nil or empty =
+// all kinds) and, when spu is non-empty, concerning that SPU per
+// MatchSPU. The input order is preserved.
+func FilterEvents(events []Event, kinds []Kind, spu string) []Event {
+	if len(kinds) == 0 && spu == "" {
+		return events
+	}
+	var keep [NumKinds]bool
+	if len(kinds) == 0 {
+		for i := range keep {
+			keep[i] = true
+		}
+	} else {
+		for _, k := range kinds {
+			if k >= 0 && k < NumKinds {
+				keep[k] = true
+			}
+		}
+	}
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if !keep[e.Kind] {
+			continue
+		}
+		if spu != "" && !MatchSPU(e, spu) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// MatchSPU reports whether the event concerns the named SPU ("spu2"):
+// either the subject is exactly that name, or the detail mentions it at
+// a token boundary (so "spu1" does not match an event about "spu10").
+func MatchSPU(e Event, spu string) bool {
+	if e.Subject == spu {
+		return true
+	}
+	return containsToken(e.Detail, spu) || (e.Subject != "" && containsToken(e.Subject, spu))
+}
+
+// containsToken reports whether s contains sub not immediately followed
+// by another digit (the one way an SPU name extends into a different
+// SPU name).
+func containsToken(s, sub string) bool {
+	for off := 0; ; {
+		i := strings.Index(s[off:], sub)
+		if i < 0 {
+			return false
+		}
+		end := off + i + len(sub)
+		if end >= len(s) || s[end] < '0' || s[end] > '9' {
+			return true
+		}
+		off = off + i + 1
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+func TestParseKinds(t *testing.T) {
+	got, err := ParseKinds("sched, MEM ,disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Sched, Mem, Disk}
+	if len(got) != len(want) {
+		t.Fatalf("ParseKinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseKinds = %v, want %v", got, want)
+		}
+	}
+
+	if got, err := ParseKinds(""); err != nil || got != nil {
+		t.Fatalf("empty csv = (%v, %v), want (nil, nil)", got, err)
+	}
+	if got, err := ParseKinds("  "); err != nil || got != nil {
+		t.Fatalf("blank csv = (%v, %v), want (nil, nil)", got, err)
+	}
+	if _, err := ParseKinds("sched,bogus"); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "sched") {
+		t.Fatalf("error %q should name the bad kind and list the valid ones", err)
+	}
+}
+
+func TestFilterEvents(t *testing.T) {
+	events := []Event{
+		{Kind: Sched, Subject: "spu1", Action: "loan"},
+		{Kind: Mem, Subject: "grp3", Action: "evict", Detail: "from spu1"},
+		{Kind: Sched, Subject: "spu10", Action: "revoke"},
+		{Kind: Disk, Subject: "disk0", Action: "deny", Detail: "spu2 over share"},
+	}
+
+	if got := FilterEvents(events, nil, ""); len(got) != 4 {
+		t.Fatalf("no filter kept %d of 4", len(got))
+	}
+	if got := FilterEvents(events, []Kind{Sched}, ""); len(got) != 2 {
+		t.Fatalf("kind filter kept %d, want 2", len(got))
+	}
+	// spu1 must match the subject "spu1" and the detail "from spu1" but
+	// NOT the subject "spu10".
+	got := FilterEvents(events, nil, "spu1")
+	if len(got) != 2 {
+		t.Fatalf("spu filter kept %d, want 2: %v", len(got), got)
+	}
+	if got[0].Action != "loan" || got[1].Action != "evict" {
+		t.Fatalf("spu filter kept wrong events: %v", got)
+	}
+	// Combined: sched events about spu1.
+	if got := FilterEvents(events, []Kind{Sched}, "spu1"); len(got) != 1 || got[0].Action != "loan" {
+		t.Fatalf("combined filter = %v, want just the loan", got)
+	}
+}
+
+func TestMatchSPUTokenBoundary(t *testing.T) {
+	cases := []struct {
+		e    Event
+		spu  string
+		want bool
+	}{
+		{Event{Subject: "spu1"}, "spu1", true},
+		{Event{Subject: "spu10"}, "spu1", false},
+		{Event{Subject: "t", Detail: "lent to spu1"}, "spu1", true},
+		{Event{Subject: "t", Detail: "lent to spu12"}, "spu1", false},
+		{Event{Subject: "t", Detail: "spu11 then spu1 again"}, "spu1", true},
+		{Event{Subject: "t", Detail: "spu1->cpu3"}, "spu1", true},
+		{Event{Subject: "t", Detail: ""}, "spu1", false},
+	}
+	for _, c := range cases {
+		if got := MatchSPU(c.e, c.spu); got != c.want {
+			t.Errorf("MatchSPU(%+v, %q) = %v, want %v", c.e, c.spu, got, c.want)
+		}
+	}
+}
+
+// The dropped-events notice must appear once per loss, not once per
+// Dump: a second Dump with no drops in between stays quiet about them.
+func TestDumpReportsDropsOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Sched, "spu1", "loan", "")
+	}
+
+	var first strings.Builder
+	tr.Dump(&first)
+	if !strings.Contains(first.String(), "3 earlier events dropped") {
+		t.Fatalf("first dump missing the dropped notice:\n%s", first.String())
+	}
+
+	var second strings.Builder
+	tr.Dump(&second)
+	if strings.Contains(second.String(), "dropped") {
+		t.Fatalf("second dump repeated the dropped notice with no new drops:\n%s", second.String())
+	}
+
+	// A fresh drop after the first report is announced — with the delta,
+	// not the lifetime total.
+	tr.Emit(Sched, "spu1", "loan", "")
+	var third strings.Builder
+	tr.Dump(&third)
+	if !strings.Contains(third.String(), "1 earlier events dropped") {
+		t.Fatalf("third dump should report exactly the 1 new drop:\n%s", third.String())
+	}
+}
+
+// DumpFiltered applies the same kind and SPU filters as FilterEvents.
+func TestDumpFiltered(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 16)
+	tr.Emit(Sched, "spu1", "loan", "")
+	tr.Emit(Mem, "grp1", "evict", "from spu2")
+	tr.Emit(Sched, "spu2", "revoke", "")
+
+	var out strings.Builder
+	tr.DumpFiltered(&out, []Kind{Sched}, "spu2")
+	s := out.String()
+	if !strings.Contains(s, "revoke") || strings.Contains(s, "loan") || strings.Contains(s, "evict") {
+		t.Fatalf("DumpFiltered output wrong:\n%s", s)
+	}
+}

@@ -83,6 +83,9 @@ type Tracer struct {
 	dropped int64
 	counts  [NumKinds]int64
 	mask    [NumKinds]bool
+	// reported is how many drops Dump has already announced, so repeated
+	// dumps don't repeat the notice for the same lost events.
+	reported int64
 }
 
 // New creates a tracer keeping the most recent capacity events (1024 if
@@ -205,11 +208,24 @@ func (t *Tracer) Find(action string) []Event {
 
 // Dump writes the stored events to w, one line each, and reports how
 // many earlier events the ring dropped so truncation is never silent.
+// The dropped-events notice appears once per loss: a second Dump with no
+// further drops in between does not repeat it.
 func (t *Tracer) Dump(w io.Writer) {
-	if d := t.Dropped(); d > 0 {
-		fmt.Fprintf(w, "(%d earlier events dropped; raise the trace capacity to keep them)\n", d)
+	t.DumpFiltered(w, nil, "")
+}
+
+// DumpFiltered is Dump restricted to the given kinds (nil or empty =
+// all) and, when spu is non-empty (an SPU name like "spu2"), to events
+// concerning that SPU (see MatchSPU).
+func (t *Tracer) DumpFiltered(w io.Writer, kinds []Kind, spu string) {
+	if t == nil {
+		return
 	}
-	for _, e := range t.Events() {
+	if d := t.Dropped(); d > t.reported {
+		fmt.Fprintf(w, "(%d earlier events dropped; raise the trace capacity to keep them)\n", d-t.reported)
+		t.reported = d
+	}
+	for _, e := range FilterEvents(t.Events(), kinds, spu) {
 		fmt.Fprintln(w, e)
 	}
 }

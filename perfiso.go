@@ -271,6 +271,18 @@ func (s *System) WriteMetrics(w io.Writer) error { return s.k.WriteMetrics(w) }
 // off.
 func (s *System) WriteChromeTrace(w io.Writer) error { return s.k.WriteChromeTrace(w) }
 
+// WriteProfile writes the run's simulated-time profile as a gzipped
+// pprof protobuf: one sample per (SPU, resource, state) bucket with the
+// folded stack spu;resource;state, plus one "stolen" sample per
+// interference-matrix cell labelled with the culprit SPU. Enable
+// collection with Options.Profiled; an error when profiling is off.
+func (s *System) WriteProfile(w io.Writer) error { return s.k.WriteProfile(w) }
+
+// WriteSpans writes the run's per-request span trees as deterministic
+// JSONL. Enable collection with Options.Profiled; an error when
+// profiling is off.
+func (s *System) WriteSpans(w io.Writer) error { return s.k.WriteSpans(w) }
+
 // HP97560 exposes the paper's disk model parameters.
 var HP97560 = disk.HP97560
 
