@@ -8,9 +8,15 @@
 // the per-experiment observability artifact (JSONL, deterministic at
 // any -parallel level).
 //
+// With -perf it instead measures the event core's throughput per
+// registry scenario (events/sec, ns/event, allocs/event) and can gate
+// against a committed baseline; -eventq flips every engine the run
+// builds onto the binary-heap fallback for differential testing.
+//
 // Usage:
 //
-//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH]
+//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-eventq calendar|heap]
+//	pisobench -perf [-perf-scenarios IDS] [-perf-reps N] [-perf-baseline PATH] [-perf-gate FRAC] [-json PATH]
 //	pisobench -soak [-soak-runs N] [-soak-seed S] [-soak-case K] [-soak-faults SPEC]
 //	pisobench -list
 package main
@@ -27,6 +33,7 @@ import (
 
 	"perfiso/internal/experiment"
 	"perfiso/internal/fault"
+	"perfiso/internal/sim"
 	"perfiso/internal/soak"
 	"perfiso/internal/stats"
 )
@@ -43,6 +50,12 @@ type config struct {
 	jsonPath    string
 	metricsPath string
 	profilePath string
+	eventq      string
+	perf        bool
+	perfReps    int
+	perfOnly    string
+	perfBase    string
+	perfGate    float64
 	soak        bool
 	soakRuns    int
 	soakSeed    uint64
@@ -61,6 +74,12 @@ func main() {
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
 	flag.StringVar(&cfg.profilePath, "profile", "", "write the per-experiment attribution artifact (JSONL: latency breakdowns, interference matrix, spans) to this path")
+	flag.StringVar(&cfg.eventq, "eventq", "", "event queue implementation: calendar (default) or heap")
+	flag.BoolVar(&cfg.perf, "perf", false, "run the perf baseline instead of printing tables (BENCH_perf.json via -json)")
+	flag.IntVar(&cfg.perfReps, "perf-reps", 3, "perf: repetitions per scenario; fastest rep is reported")
+	flag.StringVar(&cfg.perfOnly, "perf-scenarios", "", "perf: comma-separated scenario ids (default: full registry)")
+	flag.StringVar(&cfg.perfBase, "perf-baseline", "", "perf: prior BENCH_perf.json to annotate speedups against")
+	flag.Float64Var(&cfg.perfGate, "perf-gate", 0, "perf: fail if any scenario's ns/event regresses past baseline by this fraction (0.15 = 15%)")
 	flag.BoolVar(&cfg.soak, "soak", false, "run the chaos-soak harness instead of the evaluation suite")
 	flag.IntVar(&cfg.soakRuns, "soak-runs", 16, "soak: number of generated cases to run")
 	flag.Uint64Var(&cfg.soakSeed, "soak-seed", 1, "soak: sweep seed; every case derives from it deterministically")
@@ -101,6 +120,59 @@ func runSoak(cfg config, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runPerf dispatches the -perf mode: measure the event core's
+// throughput on the selected registry scenarios, print the table,
+// optionally write BENCH_perf.json (-json) and enforce the regression
+// gate against a committed baseline (-perf-baseline, -perf-gate).
+func runPerf(cfg config, stdout, stderr io.Writer) int {
+	var ids []string
+	if cfg.perfOnly != "" {
+		ids = strings.Split(cfg.perfOnly, ",")
+	}
+	rep, err := experiment.RunPerf(ids, cfg.perfReps)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	rep.EventQueue = sim.DefaultQueue().String()
+
+	var failures []string
+	if cfg.perfBase != "" {
+		data, err := os.ReadFile(cfg.perfBase)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var base experiment.PerfReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(stderr, "parsing %s: %v\n", cfg.perfBase, err)
+			return 2
+		}
+		rep.Baseline = cfg.perfBase
+		failures = rep.Compare(base, cfg.perfGate)
+	}
+
+	fmt.Fprint(stdout, rep)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	for _, f := range failures {
+		fmt.Fprintf(stderr, "PERF REGRESSION %s\n", f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
 // run executes one pisobench invocation, writing tables to stdout and
 // diagnostics to stderr, and returns the process exit code.
 func run(cfg config, stdout, stderr io.Writer) int {
@@ -112,8 +184,18 @@ func run(cfg config, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if kind, err := sim.ParseQueueKind(cfg.eventq); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	} else {
+		sim.SetDefaultQueue(kind)
+	}
+
 	if cfg.soak {
 		return runSoak(cfg, stdout, stderr)
+	}
+	if cfg.perf {
+		return runPerf(cfg, stdout, stderr)
 	}
 	if cfg.compare {
 		show(experiment.RunComparison().Table())

@@ -7,15 +7,31 @@ import "fmt"
 // the sharing contract.
 type Manager struct {
 	spus []*SPU
+
+	// activeUsers caches the ActiveUsers result; the policy ticks ask for
+	// it every period, and rebuilding the slice each time put a steady
+	// allocation on the kernel's periodic path. SPU creation and
+	// suspend/wake invalidate it.
+	activeUsers []*SPU
+	activeDirty bool
+
+	// DivideIntegral scratch, reused across policy ticks.
+	sharesBuf []int
+	fracsBuf  []frac
+}
+
+type frac struct {
+	idx int
+	f   float64
 }
 
 // NewManager creates a manager pre-populated with the kernel and shared
 // SPUs.
 func NewManager() *Manager {
-	m := &Manager{}
+	m := &Manager{activeDirty: true}
 	m.spus = append(m.spus,
-		&SPU{id: KernelID, name: "kernel", policy: ShareAll, active: true},
-		&SPU{id: SharedID, name: "shared", policy: ShareNone, active: true},
+		&SPU{id: KernelID, name: "kernel", policy: ShareAll, active: true, mgr: m},
+		&SPU{id: SharedID, name: "shared", policy: ShareNone, active: true, mgr: m},
 	)
 	return m
 }
@@ -33,8 +49,10 @@ func (m *Manager) NewSPU(name string, weight float64, policy Policy) *SPU {
 		policy: policy,
 		weight: weight,
 		active: true,
+		mgr:    m,
 	}
 	m.spus = append(m.spus, s)
+	m.activeDirty = true
 	return s
 }
 
@@ -64,15 +82,21 @@ func (m *Manager) Users() []*SPU {
 	return m.spus[FirstUserID:]
 }
 
-// ActiveUsers returns the user SPUs that are currently active.
+// ActiveUsers returns the user SPUs that are currently active. The
+// returned slice is a cache owned by the manager, valid until the next
+// SPU creation or suspend/wake — callers iterate it, they must not
+// mutate or retain it across those events.
 func (m *Manager) ActiveUsers() []*SPU {
-	var out []*SPU
-	for _, s := range m.Users() {
-		if s.active {
-			out = append(out, s)
+	if m.activeDirty {
+		m.activeUsers = m.activeUsers[:0]
+		for _, s := range m.Users() {
+			if s.active {
+				m.activeUsers = append(m.activeUsers, s)
+			}
 		}
+		m.activeDirty = false
 	}
-	return out
+	return m.activeUsers
 }
 
 // TotalWeight returns the sum of active user SPU weights.
@@ -107,13 +131,19 @@ func (m *Manager) Divide(r Resource, total float64) {
 // whole CPUs) among active user SPUs by weight, distributing remainder
 // units one each to the SPUs with the largest fractional parts (largest
 // remainder method), earlier-created SPUs first on ties. The shares sum
-// exactly to total.
+// exactly to total. The returned slice is manager-owned scratch, valid
+// until the next DivideIntegral call.
 func (m *Manager) DivideIntegral(r Resource, total int) []int {
 	users := m.ActiveUsers()
 	tw := m.TotalWeight()
-	shares := make([]int, len(users))
+	if cap(m.sharesBuf) < len(users) {
+		m.sharesBuf = make([]int, len(users))
+		m.fracsBuf = make([]frac, len(users))
+	}
+	shares := m.sharesBuf[:len(users)]
 	if tw == 0 || total <= 0 {
-		for _, s := range users {
+		for i, s := range users {
+			shares[i] = 0
 			s.levels[r].Entitled = 0
 			if s.levels[r].Allowed < 0 {
 				s.levels[r].Allowed = 0
@@ -121,11 +151,7 @@ func (m *Manager) DivideIntegral(r Resource, total int) []int {
 		}
 		return shares
 	}
-	type frac struct {
-		idx int
-		f   float64
-	}
-	fracs := make([]frac, len(users))
+	fracs := m.fracsBuf[:len(users)]
 	assigned := 0
 	for i, s := range users {
 		exact := float64(total) * s.weight / tw

@@ -171,6 +171,7 @@ type SPU struct {
 	weight float64 // relative share of the machine (1.0 = one equal share)
 	levels [NumResources]Levels
 	active bool
+	mgr    *Manager // owning manager; invalidates its active-user cache
 }
 
 // ID returns the SPU's identifier.
@@ -195,10 +196,20 @@ func (s *SPU) Active() bool { return s.active }
 
 // Suspend marks the SPU inactive (§2.1: SPUs "could be suspended when
 // they have no active processes and awakened at a later time").
-func (s *SPU) Suspend() { s.active = false }
+func (s *SPU) Suspend() {
+	s.active = false
+	if s.mgr != nil {
+		s.mgr.activeDirty = true
+	}
+}
 
 // Wake marks the SPU active again.
-func (s *SPU) Wake() { s.active = true }
+func (s *SPU) Wake() {
+	s.active = true
+	if s.mgr != nil {
+		s.mgr.activeDirty = true
+	}
+}
 
 // Levels returns the current levels for a resource.
 func (s *SPU) Levels(r Resource) Levels { return s.levels[r] }

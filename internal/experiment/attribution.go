@@ -67,9 +67,11 @@ type AttributionSummary struct {
 	// resource. Under PIso an isolated SPU's victim rows are ~0.
 	Theft []TheftRow `json:"theft,omitempty"`
 
-	// spans holds the run's span JSONL for the -profile artifact;
-	// unexported so bench JSON stays a summary.
-	spans string
+	// spans renders the run's span JSONL for the -profile artifact on
+	// demand — serializing thousands of spans costs more than some whole
+	// runs, so it only happens when the artifact is actually written.
+	// Unexported so bench JSON stays a summary.
+	spans func() string
 }
 
 // summarizeAttribution distills a finished kernel's profiler. ok is
@@ -112,9 +114,12 @@ func summarizeAttribution(k *kernel.Kernel, config string) (AttributionSummary, 
 			Stolen:   int64(t.Stolen),
 		})
 	}
-	var buf bytes.Buffer
-	if err := p.WriteSpans(&buf); err == nil {
-		s.spans = buf.String()
+	s.spans = func() string {
+		var buf bytes.Buffer
+		if err := p.WriteSpans(&buf); err != nil {
+			return ""
+		}
+		return buf.String()
 	}
 	return s, true
 }
@@ -174,8 +179,10 @@ func ProfileJSONL(results []Result, w io.Writer) error {
 					return err
 				}
 			}
-			if _, err := io.WriteString(w, as.spans); err != nil {
-				return err
+			if as.spans != nil {
+				if _, err := io.WriteString(w, as.spans()); err != nil {
+					return err
+				}
 			}
 		}
 	}

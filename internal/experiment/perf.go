@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PerfScenario is one experiment's entry in a PerfReport: how fast the
+// event core pushed that experiment's deterministic event population
+// through, and how much it allocated doing so. Events is exactly
+// reproducible run to run; the timing fields are best-of-reps
+// measurements and carry normal wall-clock noise.
+type PerfScenario struct {
+	ID             string  `json:"id"`
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// BaselineNsPerEvent and Speedup are filled in when the report is
+	// compared against a prior report (pisobench -perf-baseline):
+	// Speedup is baseline ns/event over current ns/event, so >1 means
+	// this build is faster.
+	BaselineNsPerEvent float64 `json:"baseline_ns_per_event,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
+}
+
+// PerfReport is the machine-readable perf baseline pisobench -perf
+// writes (BENCH_perf.json). Scenario order is registry order, and every
+// non-timing field is deterministic, so two reports from the same build
+// diff cleanly on everything but the measured rates.
+type PerfReport struct {
+	Suite      string         `json:"suite"`
+	EventQueue string         `json:"event_queue"`
+	Reps       int            `json:"reps"`
+	Baseline   string         `json:"baseline,omitempty"`
+	Scenarios  []PerfScenario `json:"scenarios"`
+}
+
+// RunPerf measures the event-core throughput of the named registry
+// scenarios (all of them when ids is empty). Each scenario runs reps
+// times back to back on one goroutine; the fastest rep supplies the
+// timing and the smallest rep supplies allocs/event, so one GC or
+// scheduler hiccup cannot poison the baseline. Allocation counts come
+// from runtime.MemStats.Mallocs deltas around the run, which is exact
+// because nothing else runs concurrently.
+func RunPerf(ids []string, reps int) (PerfReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	specs := Registry()
+	if len(ids) > 0 {
+		picked := make([]Spec, 0, len(ids))
+		for _, id := range ids {
+			s, ok := Lookup(id)
+			if !ok {
+				return PerfReport{}, fmt.Errorf("unknown perf scenario %q; known ids: %s",
+					id, strings.Join(IDs(), ", "))
+			}
+			picked = append(picked, s)
+		}
+		specs = picked
+	}
+	rep := PerfReport{Suite: "pisobench-perf", Reps: reps}
+	for _, s := range specs {
+		var best PerfScenario
+		for r := 0; r < reps; r++ {
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			out := s.Run()
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			allocs := m1.Mallocs - m0.Mallocs
+			if out.Events == 0 {
+				return PerfReport{}, fmt.Errorf("scenario %s dispatched zero events", s.ID)
+			}
+			if r > 0 && out.Events != best.Events {
+				return PerfReport{}, fmt.Errorf("scenario %s is nondeterministic: %d events then %d",
+					s.ID, best.Events, out.Events)
+			}
+			cur := PerfScenario{
+				ID:             s.ID,
+				Events:         out.Events,
+				WallSeconds:    wall.Seconds(),
+				NsPerEvent:     float64(wall.Nanoseconds()) / float64(out.Events),
+				EventsPerSec:   float64(out.Events) / wall.Seconds(),
+				AllocsPerEvent: float64(allocs) / float64(out.Events),
+			}
+			if r == 0 {
+				best = cur
+			} else {
+				if cur.WallSeconds < best.WallSeconds {
+					best.WallSeconds = cur.WallSeconds
+					best.NsPerEvent = cur.NsPerEvent
+					best.EventsPerSec = cur.EventsPerSec
+				}
+				if cur.AllocsPerEvent < best.AllocsPerEvent {
+					best.AllocsPerEvent = cur.AllocsPerEvent
+				}
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, best)
+	}
+	return rep, nil
+}
+
+// Compare annotates the report with a prior report's ns/event numbers
+// and returns the scenarios whose ns/event regressed by more than the
+// given fraction (0.15 = fail anything more than 15% slower). Scenarios
+// absent from the baseline are left unannotated and never fail the
+// gate, so adding an experiment does not require regenerating the
+// committed baseline in the same change.
+func (r *PerfReport) Compare(baseline PerfReport, gate float64) []string {
+	base := make(map[string]PerfScenario, len(baseline.Scenarios))
+	for _, s := range baseline.Scenarios {
+		base[s.ID] = s
+	}
+	var failed []string
+	for i := range r.Scenarios {
+		s := &r.Scenarios[i]
+		b, ok := base[s.ID]
+		if !ok || b.NsPerEvent <= 0 {
+			continue
+		}
+		s.BaselineNsPerEvent = b.NsPerEvent
+		s.Speedup = b.NsPerEvent / s.NsPerEvent
+		if gate > 0 && s.NsPerEvent > b.NsPerEvent*(1+gate) {
+			failed = append(failed, fmt.Sprintf("%s: %.0f ns/event vs baseline %.0f (+%.0f%%, gate %.0f%%)",
+				s.ID, s.NsPerEvent, b.NsPerEvent,
+				100*(s.NsPerEvent/b.NsPerEvent-1), 100*gate))
+		}
+	}
+	sort.Strings(failed)
+	return failed
+}
+
+// String renders the report as a compact fixed-width text table.
+func (r PerfReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %12s %10s %14s", "scenario", "events", "events/sec", "ns/event", "allocs/event")
+	if r.Baseline != "" {
+		fmt.Fprintf(&b, " %9s", "speedup")
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&b, "%-22s %10d %12.0f %10.1f %14.3f", s.ID, s.Events, s.EventsPerSec, s.NsPerEvent, s.AllocsPerEvent)
+		if r.Baseline != "" {
+			if s.Speedup > 0 {
+				fmt.Fprintf(&b, " %8.2fx", s.Speedup)
+			} else {
+				fmt.Fprintf(&b, " %9s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

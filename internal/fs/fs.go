@@ -303,7 +303,7 @@ func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage)
 			SPU:    spu,
 			Done: func(*disk.Request) {
 				for _, cp := range cluster {
-					cp.page.Pinned = false
+					fs.mm.SetPinned(cp.page, false)
 					cp.io = false
 					cp.valid = true
 					cp.notify()
@@ -316,7 +316,7 @@ func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage)
 			// Pin immediately: a sibling page's allocation below may
 			// trigger reclaim, which must not steal this frame while
 			// the cluster is being assembled.
-			cp.page.Pinned = true
+			fs.mm.SetPinned(cp.page, true)
 			continue
 		}
 		cp := cp
@@ -325,7 +325,7 @@ func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage)
 		fs.withInsertLock(f, cp.idx, func() {
 			fs.mm.Request(spu, mem.Cache, cp, func(p *mem.Page) {
 				cp.page = p
-				p.Pinned = true
+				fs.mm.SetPinned(p, true)
 				need--
 				launch()
 			})
@@ -436,7 +436,7 @@ func (fs *FileSystem) Flush() {
 	byFile := make(map[*File][]*CachePage)
 	var files []*File
 	for _, cp := range fs.cache {
-		if cp.dirty && !cp.io && cp.page != nil && !cp.page.Pinned {
+		if cp.dirty && !cp.io && cp.page != nil && !cp.page.Pinned() {
 			if len(byFile[cp.file]) == 0 {
 				files = append(files, cp.file)
 			}
@@ -482,7 +482,7 @@ func (fs *FileSystem) FlushTick() { fs.Flush() }
 func (fs *FileSystem) flushCluster(f *File, cluster []*CachePage) {
 	charges := make(map[core.SPUID]int)
 	for _, cp := range cluster {
-		cp.page.Pinned = true
+		fs.mm.SetPinned(cp.page, true)
 		cp.io = true
 		charges[cp.dirtier] += mem.SectorsPerPage
 	}
@@ -505,12 +505,12 @@ func (fs *FileSystem) flushCluster(f *File, cluster []*CachePage) {
 		Charges: chargeList,
 		Done: func(*disk.Request) {
 			for _, cp := range cluster {
-				cp.page.Pinned = false
+				fs.mm.SetPinned(cp.page, false)
 				cp.io = false
 				if cp.dirty {
 					cp.dirty = false
 					fs.dirtyCount--
-					cp.page.Dirty = false
+					fs.mm.SetDirty(cp.page, false)
 				}
 				cp.notify()
 			}

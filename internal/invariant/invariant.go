@@ -229,7 +229,14 @@ func (a *Auditor) checkMem(boundary string) {
 	if a.t.Mem == nil {
 		return
 	}
-	if err := a.t.Mem.AuditInvariants(); err != nil {
+	// Ticks and sharing boundaries get the O(#SPUs) incremental check;
+	// the final sweep pays for the exhaustive O(pages) scan that proves
+	// the incremental counters never drifted.
+	err := a.t.Mem.AuditInvariants()
+	if boundary == "final" {
+		err = a.t.Mem.AuditDeep()
+	}
+	if err != nil {
 		a.report("mem", NoSPU, boundary, err)
 	}
 }

@@ -7,27 +7,42 @@ import (
 	"perfiso/internal/snap"
 )
 
-// AuditInvariants extends Audit with the memory-isolation invariant of
-// §3.2: a user SPU that is not in unconstrained ShareAll mode never
-// holds more frames than its allowed level, beyond the frames it cannot
-// release yet — eviction write-backs still in flight and pinned pages
-// (in-flight disk IO). Frame conservation and charge/ownership
-// agreement come from Audit.
+// AuditInvariants extends the fast conservation checks with the
+// memory-isolation invariant of §3.2: a user SPU that is not in
+// unconstrained ShareAll mode never holds more frames than its allowed
+// level, beyond the frames it cannot release yet — eviction write-backs
+// still in flight and pinned pages (in-flight disk IO). The whole check
+// runs off the incrementally-maintained per-SPU lists and counters, so
+// it is O(#SPUs) and allocation-free — cheap enough for every tick and
+// sharing boundary. AuditDeep adds the O(pages) scan that proves those
+// incremental structures exact.
 func (m *Manager) AuditInvariants() error {
+	if err := m.auditFast(); err != nil {
+		return err
+	}
+	return m.auditIsolation()
+}
+
+// AuditDeep is AuditInvariants on top of the exhaustive O(pages) Audit
+// scan — the final sweep and the stress harness use it to prove the
+// incremental counters never drifted from ground truth.
+func (m *Manager) AuditDeep() error {
 	if err := m.Audit(); err != nil {
 		return err
 	}
-	pinned := make(map[core.SPUID]int)
-	for _, p := range m.pages {
-		if p.Pinned {
-			pinned[p.SPU]++
-		}
-	}
+	return m.auditIsolation()
+}
+
+func (m *Manager) auditIsolation() error {
 	for _, s := range m.spus.Users() {
 		if s.Policy() == core.ShareAll {
 			continue
 		}
-		slack := float64(m.inFlight + pinned[s.ID()])
+		pinned := 0
+		if i := int(s.ID()); i < len(m.pinnedN) {
+			pinned = m.pinnedN[i]
+		}
+		slack := float64(m.inFlight + pinned)
 		if over := s.Used(core.Memory) - s.Allowed(core.Memory) - slack; over > 0.5 {
 			return fmt.Errorf("mem audit: spu%d uses %.0f frames, above its allowed %.0f (+%.0f unreleasable)",
 				s.ID(), s.Used(core.Memory), s.Allowed(core.Memory), slack)
@@ -55,10 +70,10 @@ func (m *Manager) Snapshot(enc *snap.Encoder) {
 	pinned := make(map[int]int64)
 	for _, p := range m.pages {
 		owned[int(p.SPU)]++
-		if p.Dirty {
+		if p.dirty {
 			dirty[int(p.SPU)]++
 		}
-		if p.Pinned {
+		if p.pinned {
 			pinned[int(p.SPU)]++
 		}
 	}

@@ -31,7 +31,7 @@ func TestPressuredFlag(t *testing.T) {
 	o := &testOwner{}
 	for i := 0; i < 10; i++ {
 		p := m.Allocate(us[0].ID(), Anon, o)
-		p.Pinned = true
+		m.SetPinned(p, true)
 	}
 	if m.Pressured(us[0].ID()) {
 		t.Fatal("pressure before any denial")

@@ -73,14 +73,26 @@ type Owner interface {
 type Page struct {
 	SPU     core.SPUID
 	Kind    Kind
-	Dirty   bool
-	Pinned  bool // never evicted while pinned (e.g. in-flight disk IO)
 	LastUse sim.Time
 	Owner   Owner
 
+	dirty    bool
+	pinned   bool // never evicted while pinned (e.g. in-flight disk IO)
 	evicting bool
-	index    int // position in Manager.pages, -1 when free
+	seq      uint64 // allocation sequence; LRU tie-break after LastUse
+	index    int    // position in Manager.pages, -1 when free
+	spuIdx   int    // position in the owning SPU's page list
 }
+
+// Dirty reports whether the page needs write-back before reuse. The flag
+// is set through Manager.MarkDirty / SetDirty so the manager's per-SPU
+// dirty counters stay exact.
+func (p *Page) Dirty() bool { return p.dirty }
+
+// Pinned reports whether the page is exempt from eviction (e.g. its
+// frame is the target of in-flight disk IO). Set through
+// Manager.SetPinned.
+func (p *Page) Pinned() bool { return p.pinned }
 
 // PageoutFunc writes a dirty page's contents to backing store and calls
 // done when the write completes, with ok=false if the write failed (a
@@ -117,10 +129,18 @@ type Manager struct {
 	reserve float64 // fraction of total kept free (Reserve Threshold)
 	pageout PageoutFunc
 
-	pages    []*Page // frames currently in use
-	inFlight int     // frames being evicted (still counted as used)
+	pages    []*Page   // frames currently in use
+	bySPU    [][]*Page // the same frames partitioned by owning SPU
+	pinnedN  []int     // per-SPU pinned-page counts (index = SPUID)
+	dirtyN   []int     // per-SPU dirty-page counts
+	pseq     uint64    // allocation sequence for LRU tie-breaking
+	inFlight int       // frames being evicted (still counted as used)
 	waiters  []waiter
-	pressure map[core.SPUID]bool // SPUs that hit their limit since last policy tick
+	pressure []bool // SPUs that hit their limit since last policy tick (index = SPUID)
+
+	// prevAllowed is redivide's per-tick scratch, reused so the policy
+	// tick stays allocation-free.
+	prevAllowed []float64
 
 	reclaiming bool // reentrancy guards: eviction frees pages, which
 	serving    bool // serves waiters, which may allocate and deny again
@@ -148,11 +168,10 @@ func NewManager(eng *sim.Engine, spus *core.Manager, totalPages int, reserve flo
 		reserve = DefaultReserve
 	}
 	m := &Manager{
-		eng:      eng,
-		spus:     spus,
-		total:    totalPages,
-		reserve:  reserve,
-		pressure: make(map[core.SPUID]bool),
+		eng:     eng,
+		spus:    spus,
+		total:   totalPages,
+		reserve: reserve,
 	}
 	m.Stat.FreePages.Set(eng.Now(), float64(totalPages))
 	return m
@@ -226,13 +245,15 @@ func (m *Manager) Allocate(spu core.SPUID, kind Kind, owner Owner) *Page {
 	if m.FreePages() <= 0 || !s.CanUse(core.Memory, 1) {
 		m.Stat.Denials++
 		if spu.IsUser() {
-			m.pressure[spu] = true
+			m.pressure[m.slot(spu)] = true
 		}
 		m.kickReclaim()
 		return nil
 	}
-	p := &Page{SPU: s.ID(), Kind: kind, LastUse: m.eng.Now(), Owner: owner, index: len(m.pages)}
+	p := &Page{SPU: s.ID(), Kind: kind, LastUse: m.eng.Now(), Owner: owner, seq: m.pseq, index: len(m.pages)}
+	m.pseq++
 	m.pages = append(m.pages, p)
+	m.linkSPU(p)
 	s.Charge(core.Memory, 1)
 	m.Stat.Allocations++
 	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))
@@ -277,7 +298,7 @@ func (m *Manager) Free(p *Page) {
 	m.serveWaiters()
 }
 
-// unlink removes the page from the in-use list.
+// unlink removes the page from the in-use list and its SPU's list.
 func (m *Manager) unlink(p *Page) {
 	last := len(m.pages) - 1
 	i := p.index
@@ -285,6 +306,53 @@ func (m *Manager) unlink(p *Page) {
 	m.pages[i].index = i
 	m.pages = m.pages[:last]
 	p.index = -1
+	m.unlinkSPU(p)
+}
+
+// slot returns the per-SPU array index for the SPU, growing the arrays
+// on first sight of a new id.
+func (m *Manager) slot(id core.SPUID) int {
+	i := int(id)
+	for len(m.bySPU) <= i {
+		m.bySPU = append(m.bySPU, nil)
+		m.pinnedN = append(m.pinnedN, 0)
+		m.dirtyN = append(m.dirtyN, 0)
+		m.pressure = append(m.pressure, false)
+	}
+	return i
+}
+
+// linkSPU adds the page to its SPU's list, keeping the incremental
+// per-SPU counters exact. The counters (and the lists) cover linked
+// pages only: a frame mid-eviction is unlinked and tracked by inFlight.
+func (m *Manager) linkSPU(p *Page) {
+	i := m.slot(p.SPU)
+	p.spuIdx = len(m.bySPU[i])
+	m.bySPU[i] = append(m.bySPU[i], p)
+	if p.dirty {
+		m.dirtyN[i]++
+	}
+	if p.pinned {
+		m.pinnedN[i]++
+	}
+}
+
+// unlinkSPU removes the page from its SPU's list (swap-remove).
+func (m *Manager) unlinkSPU(p *Page) {
+	i := m.slot(p.SPU)
+	l := m.bySPU[i]
+	last := len(l) - 1
+	l[p.spuIdx] = l[last]
+	l[p.spuIdx].spuIdx = p.spuIdx
+	l[last] = nil
+	m.bySPU[i] = l[:last]
+	p.spuIdx = -1
+	if p.dirty {
+		m.dirtyN[i]--
+	}
+	if p.pinned {
+		m.pinnedN[i]--
+	}
 }
 
 // Touch records a use of the page by the given SPU at the current time.
@@ -297,12 +365,46 @@ func (m *Manager) Touch(p *Page, by core.SPUID) {
 	}
 	m.spus.Get(p.SPU).Charge(core.Memory, -1)
 	m.spus.Shared().Charge(core.Memory, 1)
+	m.unlinkSPU(p)
 	p.SPU = core.SharedID
+	m.linkSPU(p)
 	m.Stat.Retags++
 }
 
 // MarkDirty flags the page as needing write-back before reuse.
-func (m *Manager) MarkDirty(p *Page) { p.Dirty = true }
+func (m *Manager) MarkDirty(p *Page) { m.SetDirty(p, true) }
+
+// SetDirty sets or clears the page's dirty flag, keeping the per-SPU
+// dirty counters exact.
+func (m *Manager) SetDirty(p *Page, v bool) {
+	if p.dirty == v {
+		return
+	}
+	p.dirty = v
+	if p.index >= 0 {
+		if v {
+			m.dirtyN[m.slot(p.SPU)]++
+		} else {
+			m.dirtyN[m.slot(p.SPU)]--
+		}
+	}
+}
+
+// SetPinned pins or unpins the page. A pinned page is never evicted —
+// in-flight disk IO targets its frame.
+func (m *Manager) SetPinned(p *Page, v bool) {
+	if p.pinned == v {
+		return
+	}
+	p.pinned = v
+	if p.index >= 0 {
+		if v {
+			m.pinnedN[m.slot(p.SPU)]++
+		} else {
+			m.pinnedN[m.slot(p.SPU)]--
+		}
+	}
+}
 
 // Culprit identifies the SPU to blame when victim stalls waiting for
 // frames, for the profiler's interference matrix. Under ShareAll no
@@ -337,24 +439,71 @@ func (m *Manager) Waiters() int { return len(m.waiters) }
 
 // Pressured reports whether the SPU has hit its memory limit since the
 // last policy tick.
-func (m *Manager) Pressured(spu core.SPUID) bool { return m.pressure[spu] }
+func (m *Manager) Pressured(spu core.SPUID) bool {
+	return int(spu) < len(m.pressure) && m.pressure[spu]
+}
 
-// Audit verifies the manager's internal consistency: page-list linkage,
-// frame conservation, and agreement between SPU charges and actual page
-// ownership. It returns a descriptive error on the first violation.
-// Intended for tests and the stress harness; it is O(pages).
+// Audit verifies the manager's internal consistency the slow, exhaustive
+// way: page-list and per-SPU-list linkage, agreement between the scan
+// and the incremental counters the fast path trusts, frame conservation,
+// and charge/ownership agreement. It returns a descriptive error on the
+// first violation. Intended for tests, the stress harness, and the final
+// sweep; it is O(pages). The per-tick sweep uses auditFast.
 func (m *Manager) Audit() error {
 	for i, p := range m.pages {
 		if p.index != i {
 			return fmt.Errorf("mem audit: page at slot %d has index %d", i, p.index)
 		}
 	}
-	if got := len(m.pages) + m.inFlight; got+m.FreePages() != m.total {
-		return fmt.Errorf("mem audit: used %d + free %d != total %d", got, m.FreePages(), m.total)
+	for id, l := range m.bySPU {
+		for i, p := range l {
+			if p.spuIdx != i {
+				return fmt.Errorf("mem audit: spu%d page at slot %d has spuIdx %d", id, i, p.spuIdx)
+			}
+			if int(p.SPU) != id {
+				return fmt.Errorf("mem audit: spu%d list holds a page owned by spu%d", id, p.SPU)
+			}
+		}
 	}
 	counts := make(map[core.SPUID]int)
+	pinned := make(map[core.SPUID]int)
+	dirty := make(map[core.SPUID]int)
+	listed := 0
 	for _, p := range m.pages {
 		counts[p.SPU]++
+		if p.pinned {
+			pinned[p.SPU]++
+		}
+		if p.dirty {
+			dirty[p.SPU]++
+		}
+	}
+	for id := range m.bySPU {
+		sid := core.SPUID(id)
+		listed += len(m.bySPU[id])
+		if got := len(m.bySPU[id]); got != counts[sid] {
+			return fmt.Errorf("mem audit: spu%d list holds %d pages, scan found %d", id, got, counts[sid])
+		}
+		if m.pinnedN[id] != pinned[sid] {
+			return fmt.Errorf("mem audit: spu%d pinned counter %d, scan found %d", id, m.pinnedN[id], pinned[sid])
+		}
+		if m.dirtyN[id] != dirty[sid] {
+			return fmt.Errorf("mem audit: spu%d dirty counter %d, scan found %d", id, m.dirtyN[id], dirty[sid])
+		}
+	}
+	if listed != len(m.pages) {
+		return fmt.Errorf("mem audit: SPU lists hold %d pages, in-use list %d", listed, len(m.pages))
+	}
+	return m.auditFast()
+}
+
+// auditFast checks frame conservation and charge/ownership agreement
+// from the incrementally-maintained per-SPU lists and counters — O(#SPUs),
+// no scan, no allocation. Audit cross-checks those structures against a
+// full scan, so tests and the final sweep would catch counter drift.
+func (m *Manager) auditFast() error {
+	if got := len(m.pages) + m.inFlight; got+m.FreePages() != m.total {
+		return fmt.Errorf("mem audit: used %d + free %d != total %d", got, m.FreePages(), m.total)
 	}
 	// In-flight evictions keep their SPU charge until write-back ends,
 	// so per-SPU charges may exceed the owned-page count by at most the
@@ -364,7 +513,10 @@ func (m *Manager) Audit() error {
 	for _, s := range m.spus.All() {
 		u := s.Used(core.Memory)
 		charged += u
-		owned := counts[s.ID()]
+		owned := 0
+		if i := int(s.ID()); i < len(m.bySPU) {
+			owned = len(m.bySPU[i])
+		}
 		if int(u) < owned {
 			return fmt.Errorf("mem audit: SPU %d charged %.0f but owns %d pages", s.ID(), u, owned)
 		}

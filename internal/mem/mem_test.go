@@ -165,8 +165,8 @@ func TestPinnedPagesNotEvicted(t *testing.T) {
 	o := &testOwner{}
 	p0 := m.Allocate(us[0].ID(), Anon, o)
 	p1 := m.Allocate(us[0].ID(), Anon, o)
-	p0.Pinned = true
-	p1.Pinned = true
+	m.SetPinned(p0, true)
+	m.SetPinned(p1, true)
 	if m.Allocate(us[0].ID(), Anon, o) != nil {
 		t.Fatal("allocation should fail: at limit and both pages pinned")
 	}
@@ -210,7 +210,7 @@ func TestRequestQueuesFIFO(t *testing.T) {
 	us[0].SetAllowed(core.Memory, 1)
 	o := &testOwner{}
 	first := m.Allocate(us[0].ID(), Anon, o)
-	first.Pinned = true // block replacement so requests queue
+	m.SetPinned(first, true) // block replacement so requests queue
 	var order []int
 	m.Request(us[0].ID(), Anon, o, func(*Page) { order = append(order, 1) })
 	m.Request(us[0].ID(), Anon, o, func(*Page) { order = append(order, 2) })
@@ -231,7 +231,7 @@ func TestWaiterFromOtherSPUNotBlockedByStuckHead(t *testing.T) {
 	// Fill SPU 0 to its quota with pinned pages: its waiter is stuck.
 	for i := 0; i < 50; i++ {
 		p := m.Allocate(us[0].ID(), Anon, o)
-		p.Pinned = true
+		m.SetPinned(p, true)
 	}
 	var got0, got1 bool
 	m.Request(us[0].ID(), Anon, o, func(*Page) { got0 = true })

@@ -39,7 +39,7 @@ func (m *Manager) PolicyTick() {
 		if !hit {
 			continue
 		}
-		s := m.spus.Get(id)
+		s := m.spus.Get(core.SPUID(id))
 		if s.Used(core.Memory) < s.Entitled(core.Memory) {
 			lenderPressure = true
 		}
@@ -57,7 +57,7 @@ func (m *Manager) PolicyTick() {
 			continue
 		}
 		atLimit := s.Used(core.Memory) >= s.Allowed(core.Memory)-1
-		if m.pressure[s.ID()] || atLimit {
+		if m.Pressured(s.ID()) || atLimit {
 			needy = append(needy, s)
 		}
 	}
@@ -72,14 +72,16 @@ func (m *Manager) PolicyTick() {
 			}
 			if give > 0 {
 				s.SetAllowed(core.Memory, s.Allowed(core.Memory)+float64(give))
-				m.Trace.Emitf(trace.Policy, fmt.Sprintf("spu%d", s.ID()), "lend",
-					"%d pages (allowed now %.0f)", give, s.Allowed(core.Memory))
+				if m.Trace != nil {
+					m.Trace.Emitf(trace.Policy, fmt.Sprintf("spu%d", s.ID()), "lend",
+						"%d pages (allowed now %.0f)", give, s.Allowed(core.Memory))
+				}
 			}
 		}
 	}
 
 	for id := range m.pressure {
-		delete(m.pressure, id)
+		m.pressure[id] = false
 	}
 
 	// Enforce the adjusted limits and unblock anyone who can proceed.
@@ -94,7 +96,10 @@ func (m *Manager) PolicyTick() {
 // excess it had been granted).
 func (m *Manager) redivide() {
 	users := m.spus.ActiveUsers()
-	prevAllowed := make([]float64, len(users))
+	if cap(m.prevAllowed) < len(users) {
+		m.prevAllowed = make([]float64, len(users))
+	}
+	prevAllowed := m.prevAllowed[:len(users)]
 	for i, s := range users {
 		prevAllowed[i] = s.Allowed(core.Memory)
 	}

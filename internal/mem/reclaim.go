@@ -29,7 +29,7 @@ func (m *Manager) kickReclaim() {
 		}
 		over := int(s.Used(core.Memory) - s.Allowed(core.Memory))
 		for i := 0; i < over; i++ {
-			if !m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() }) {
+			if !m.evictFromSPU(s.ID()) {
 				break
 			}
 		}
@@ -50,7 +50,7 @@ func (m *Manager) kickReclaim() {
 			continue
 		}
 		if s.Used(core.Memory) >= s.Allowed(core.Memory) && s.Used(core.Memory) > 0 {
-			m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() })
+			m.evictFromSPU(s.ID())
 		}
 	}
 
@@ -59,7 +59,7 @@ func (m *Manager) kickReclaim() {
 	// least-recently-used pages regardless of owner.
 	guard := len(m.waiters)
 	for m.FreePages() <= 0 && len(m.waiters) > 0 && guard > 0 {
-		if !m.evictFrom(func(p *Page) bool { return true }) {
+		if !m.evictAny() {
 			break
 		}
 		guard--
@@ -72,7 +72,7 @@ func (m *Manager) kickReclaim() {
 	// spin on in-flight dirty pages.
 	if deficit := -m.FreePages(); deficit > 0 {
 		for i := 0; i < deficit; i++ {
-			if !m.evictFrom(func(p *Page) bool { return true }) {
+			if !m.evictAny() {
 				break
 			}
 		}
@@ -131,8 +131,10 @@ func (m *Manager) revokeLoans(needed int) {
 			target = ent
 		}
 		b.s.SetAllowed(core.Memory, target)
-		m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", b.s.ID()), "revoke-loan",
-			"%d pages (allowed now %.0f)", take, target)
+		if m.Trace != nil {
+			m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", b.s.ID()), "revoke-loan",
+				"%d pages (allowed now %.0f)", take, target)
+		}
 		needed -= take
 		bs = append(bs[:bi], bs[bi+1:]...)
 	}
@@ -140,7 +142,7 @@ func (m *Manager) revokeLoans(needed int) {
 	for _, s := range m.spus.Users() {
 		over := int(s.Used(core.Memory) - s.Allowed(core.Memory))
 		for i := 0; i < over; i++ {
-			if !m.evictFrom(func(p *Page) bool { return p.SPU == s.ID() }) {
+			if !m.evictFromSPU(s.ID()) {
 				break
 			}
 		}
@@ -148,30 +150,63 @@ func (m *Manager) revokeLoans(needed int) {
 	m.auditBoundary("revoke-loan")
 }
 
-// evictFrom evicts the least-recently-used unpinned page satisfying the
-// predicate, preferring clean pages (which free instantly) over dirty
-// ones (which must be written back first) — the standard pageout-daemon
-// optimization; without it every fault under memory pressure pays a
-// full write-back plus a swap-in and the machine collapses rather than
-// degrades. It returns false when no page qualifies. Dirty write-back
-// goes through the pageout function; the frame frees when the write
-// completes — the revocation cost the Reserve Threshold hides (§3.2).
-func (m *Manager) evictFrom(want func(*Page) bool) bool {
-	var victim, dirtyVictim *Page
-	for _, p := range m.pages {
-		if p.Pinned || p.evicting || !want(p) {
+// lruBefore orders eviction candidates: least-recently-used first, ties
+// broken by allocation order so a scan's winner does not depend on the
+// incidental layout of the page list.
+func lruBefore(a, b *Page) bool {
+	return a.LastUse < b.LastUse || (a.LastUse == b.LastUse && a.seq < b.seq)
+}
+
+// scanVictims finds the clean and dirty LRU candidates in one SPU's page
+// list, merging with the best found so far (for multi-list scans).
+func scanVictims(l []*Page, victim, dirtyVictim *Page) (*Page, *Page) {
+	for _, p := range l {
+		if p.pinned || p.evicting {
 			continue
 		}
-		if p.Dirty {
-			if dirtyVictim == nil || p.LastUse < dirtyVictim.LastUse {
+		if p.dirty {
+			if dirtyVictim == nil || lruBefore(p, dirtyVictim) {
 				dirtyVictim = p
 			}
 			continue
 		}
-		if victim == nil || p.LastUse < victim.LastUse {
+		if victim == nil || lruBefore(p, victim) {
 			victim = p
 		}
 	}
+	return victim, dirtyVictim
+}
+
+// evictFromSPU evicts the least-recently-used unpinned page owned by the
+// SPU — an O(pages of that SPU) scan of its own list rather than the
+// whole machine's.
+func (m *Manager) evictFromSPU(spu core.SPUID) bool {
+	if int(spu) >= len(m.bySPU) {
+		return false
+	}
+	victim, dirtyVictim := scanVictims(m.bySPU[spu], nil, nil)
+	return m.evictVictim(victim, dirtyVictim)
+}
+
+// evictAny evicts the least-recently-used unpinned page regardless of
+// owner, scanning the per-SPU lists in SPU-id order for determinism.
+func (m *Manager) evictAny() bool {
+	var victim, dirtyVictim *Page
+	for _, l := range m.bySPU {
+		victim, dirtyVictim = scanVictims(l, victim, dirtyVictim)
+	}
+	return m.evictVictim(victim, dirtyVictim)
+}
+
+// evictVictim evicts the chosen page, preferring the clean candidate
+// (which frees instantly) over the dirty one (which must be written back
+// first) — the standard pageout-daemon optimization; without it every
+// fault under memory pressure pays a full write-back plus a swap-in and
+// the machine collapses rather than degrades. It returns false when no
+// page qualifies. Dirty write-back goes through the pageout function;
+// the frame frees when the write completes — the revocation cost the
+// Reserve Threshold hides (§3.2).
+func (m *Manager) evictVictim(victim, dirtyVictim *Page) bool {
 	if victim == nil {
 		victim = dirtyVictim
 	}
@@ -180,12 +215,14 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 	}
 	m.Stat.Evictions++
 	m.Metrics.Counter(metrics.KeyMemReclaims, victim.SPU).Inc()
-	m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "evict",
-		"%s page, dirty=%v", victim.Kind, victim.Dirty)
+	if m.Trace != nil {
+		m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "evict",
+			"%s page, dirty=%v", victim.Kind, victim.dirty)
+	}
 	if victim.Owner != nil {
 		victim.Owner.PageEvicted(victim)
 	}
-	if victim.Dirty && m.pageout != nil {
+	if victim.dirty && m.pageout != nil {
 		m.Stat.DirtyWrites++
 		m.Metrics.Counter(metrics.KeyMemDirtyWrites, victim.SPU).Inc()
 		victim.evicting = true
@@ -205,8 +242,10 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 				m.Stat.PageoutRetries++
 				m.Metrics.Counter(metrics.KeyMemPageoutRetries, victim.SPU).Inc()
 				m.Metrics.Counter(metrics.KeyMemBackoffNS, victim.SPU).AddTime(delay)
-				m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "pageout-retry",
-					"write-back failed, retrying in %v", delay)
+				if m.Trace != nil {
+					m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "pageout-retry",
+						"write-back failed, retrying in %v", delay)
+				}
 				d := delay
 				if delay < maxPageoutBackoff {
 					delay *= 2
@@ -222,7 +261,7 @@ func (m *Manager) evictFrom(want func(*Page) bool) bool {
 		m.pageout(victim, onDone)
 		return true
 	}
-	if victim.Dirty {
+	if victim.dirty {
 		m.Stat.DirtyWrites++
 		m.Metrics.Counter(metrics.KeyMemDirtyWrites, victim.SPU).Inc()
 	}

@@ -60,6 +60,16 @@ type Process struct {
 	steps []Step
 	pc    int
 
+	// Pre-allocated continuations: steps run once per iteration for the
+	// process's whole life, so handing services a fresh method-value or
+	// closure each time would put an allocation on the kernel's
+	// steady-state dispatch path. nextFn is the universal "advance the
+	// program" continuation; runBurst starts the CPU burst staged in
+	// burst (Compute's resident-set callback).
+	nextFn   func()
+	runBurst func()
+	burst    sim.Time
+
 	thread *sched.Thread
 	state  State
 	prof   *profile.Task
@@ -88,6 +98,12 @@ type Process struct {
 func New(env Env, spu core.SPUID, name string, steps []Step) *Process {
 	p := &Process{Name: name, SPU: spu, env: env, steps: steps}
 	p.thread = &sched.Thread{Name: name, SPU: spu}
+	p.nextFn = p.advance
+	p.runBurst = func() {
+		p.thread.Remaining = p.burst
+		p.thread.BurstDone = p.nextFn
+		p.env.Scheduler().Wake(p.thread)
+	}
 	return p
 }
 
@@ -228,7 +244,7 @@ func (p *Process) ensureResident(done func()) {
 			// live on disk, so a later eviction is free. Without this a
 			// thrashing SPU pays a write-back *and* a swap-in per fault
 			// and degradation turns into collapse.
-			pg.Dirty = got < fresh
+			p.env.Memory().SetDirty(pg, got < fresh)
 			p.resident = append(p.resident, pg)
 			p.Faults++
 			got++

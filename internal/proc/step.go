@@ -52,11 +52,8 @@ func (s Compute) run(p *Process) {
 		p.next()
 		return
 	}
-	p.ensureResident(func() {
-		p.thread.Remaining = s.D
-		p.thread.BurstDone = p.next
-		p.env.Scheduler().Wake(p.thread)
-	})
+	p.burst = s.D
+	p.ensureResident(p.runBurst)
 }
 
 // Read reads [Off, Off+N) of File through the buffer cache.
@@ -68,7 +65,7 @@ type Read struct {
 
 func (s Read) run(p *Process) {
 	p.prof.To(profile.StateDiskWait, p.SPU)
-	p.env.FS().Read(p.SPU, s.File, s.Off, s.N, p.next)
+	p.env.FS().Read(p.SPU, s.File, s.Off, s.N, p.nextFn)
 }
 
 // Write writes [Off, Off+N) of File as delayed writes.
@@ -83,7 +80,7 @@ func (s Write) run(p *Process) {
 	if p.prof != nil {
 		p.prof.To(profile.StateMemWait, p.env.Memory().Culprit(p.SPU))
 	}
-	p.env.FS().Write(p.SPU, s.File, s.Off, s.N, p.next)
+	p.env.FS().Write(p.SPU, s.File, s.Off, s.N, p.nextFn)
 }
 
 // Meta performs a metadata rewrite on File (one synchronous sector).
@@ -93,7 +90,7 @@ type Meta struct {
 
 func (s Meta) run(p *Process) {
 	p.prof.To(profile.StateDiskWait, p.SPU)
-	p.env.FS().MetaUpdate(p.SPU, s.File, p.next)
+	p.env.FS().MetaUpdate(p.SPU, s.File, p.nextFn)
 }
 
 // Lookup performs a pathname lookup through the root inode semaphore.
@@ -101,7 +98,7 @@ type Lookup struct{}
 
 func (s Lookup) run(p *Process) {
 	p.prof.To(profile.StateSync, p.SPU)
-	p.env.FS().Lookup(p.SPU, p.next)
+	p.env.FS().Lookup(p.SPU, p.nextFn)
 }
 
 // Touch sets the process working-set target to Pages; subsequent Compute
@@ -112,7 +109,7 @@ type Touch struct {
 
 func (s Touch) run(p *Process) {
 	p.wssTarget = s.Pages
-	p.ensureResident(p.next)
+	p.ensureResident(p.nextFn)
 }
 
 // Fork starts a child process and continues immediately.
@@ -147,7 +144,7 @@ type Sleep struct {
 
 func (s Sleep) run(p *Process) {
 	p.prof.To(profile.StateSleep, p.SPU)
-	p.env.Engine().CallAfter(s.D, "proc.sleep", p.next)
+	p.env.Engine().CallAfter(s.D, "proc.sleep", p.nextFn)
 }
 
 // Barrier synchronizes a gang of processes: each arrival blocks until
@@ -191,7 +188,7 @@ type BarrierStep struct {
 
 func (s BarrierStep) run(p *Process) {
 	p.prof.To(profile.StateSync, p.SPU)
-	s.B.Arrive(p.next)
+	s.B.Arrive(p.nextFn)
 }
 
 // Loop expands a body repeated Times times at program-build time.

@@ -60,7 +60,7 @@ func (s *Scheduler) AuditInvariants() error {
 		if c.cur == nil || !c.loan || s.homeHasIdleCPU(c.home) {
 			continue
 		}
-		for _, t := range s.runq[c.home] {
+		for _, t := range s.rq(c.home) {
 			if t.gang != nil {
 				continue // gangs wait for whole-gang placement by design
 			}
@@ -153,8 +153,7 @@ func (s *Scheduler) Snapshot(enc *snap.Encoder) {
 			strconv.FormatFloat(c.speed, 'g', -1, 64), cur, int64(c.started),
 			strconv.FormatFloat(c.busyness.Area(now), 'g', -1, 64)))
 	}
-	for _, id := range sortedSPUIDs(s.runq) {
-		q := s.runq[id]
+	for id, q := range s.runq {
 		if len(q) == 0 {
 			continue
 		}

@@ -89,7 +89,17 @@ type Scheduler struct {
 	opts Options
 
 	cpus []*cpu
-	runq map[core.SPUID][]*Thread
+	// runq holds per-SPU FIFO queues of runnable threads, indexed by SPU
+	// ID (dense and small). A slice avoids map hashing on the dispatch
+	// fast path and makes iteration order deterministic for free.
+	runq [][]*Thread
+	// sliceFn is the one slice-end callback shared by every dispatch; the
+	// operand packs (sliceSeq, cpu index) so arming a slice allocates
+	// nothing. See dispatchOn.
+	sliceFn func(uint64)
+	// cpuCounts is recomputeCPULevels' scratch buffer, reused across
+	// ticks so the 10 ms tick stays allocation-free.
+	cpuCounts []int
 
 	// rotor state for time-partitioning fractional CPU entitlements:
 	// rotorFrac holds each SPU's fractional claim per tick, rotorCredit
@@ -121,7 +131,7 @@ type Scheduler struct {
 
 // New creates a scheduler for numCPUs processors.
 func New(eng *sim.Engine, spus *core.Manager, numCPUs int, opts Options) *Scheduler {
-	if numCPUs <= 0 {
+	if numCPUs <= 0 || numCPUs > sliceCPUMask+1 {
 		panic(fmt.Sprintf("sched: numCPUs = %d", numCPUs))
 	}
 	if opts.Slice <= 0 {
@@ -131,7 +141,6 @@ func New(eng *sim.Engine, spus *core.Manager, numCPUs int, opts Options) *Schedu
 		eng:         eng,
 		spus:        spus,
 		opts:        opts,
-		runq:        make(map[core.SPUID][]*Thread),
 		rotorFrac:   make(map[core.SPUID]float64),
 		rotorCredit: make(map[core.SPUID]float64),
 		PerSPUTime:  make(map[core.SPUID]*sim.Time),
@@ -142,7 +151,40 @@ func New(eng *sim.Engine, spus *core.Manager, numCPUs int, opts Options) *Schedu
 		// whose ShareAll policy makes the machine behave as plain SMP.
 		s.cpus = append(s.cpus, &cpu{idx: i, home: core.KernelID, speed: 1})
 	}
+	s.sliceFn = func(arg uint64) {
+		c := s.cpus[arg&sliceCPUMask]
+		if arg>>sliceCPUBits == c.sliceSeq&sliceSeqMask {
+			s.sliceEnd(c)
+		}
+	}
 	return s
+}
+
+// Slice-end operand packing: the low bits carry the CPU index, the rest
+// the sliceSeq stamp at arm time. 16 bits bound the machine at 65536
+// CPUs (the paper's Origin tops out at 128); 48 bits of sequence cannot
+// wrap within any simulable run.
+const (
+	sliceCPUBits = 16
+	sliceCPUMask = 1<<sliceCPUBits - 1
+	sliceSeqMask = 1<<(64-sliceCPUBits) - 1
+)
+
+// rq returns the SPU's runqueue (nil when it never had one).
+func (s *Scheduler) rq(id core.SPUID) []*Thread {
+	if int(id) >= len(s.runq) {
+		return nil
+	}
+	return s.runq[id]
+}
+
+// pushRunq appends a runnable thread to its SPU's queue, growing the
+// dense queue table on first sight of a new SPU ID.
+func (s *Scheduler) pushRunq(t *Thread) {
+	for int(t.SPU) >= len(s.runq) {
+		s.runq = append(s.runq, nil)
+	}
+	s.runq[t.SPU] = append(s.runq[t.SPU], t)
 }
 
 // NumCPUs returns the processor count.
@@ -393,7 +435,7 @@ func (s *Scheduler) Wake(t *Thread) {
 	if t.Prof != nil {
 		t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
 	}
-	s.runq[t.SPU] = append(s.runq[t.SPU], t)
+	s.pushRunq(t)
 	s.tryDispatchThread(t)
 }
 
@@ -433,7 +475,7 @@ func (s *Scheduler) Exit(t *Thread) {
 }
 
 func (s *Scheduler) removeFromQueue(t *Thread) {
-	q := s.runq[t.SPU]
+	q := s.rq(t.SPU)
 	for i, x := range q {
 		if x == t {
 			s.runq[t.SPU] = append(q[:i], q[i+1:]...)
@@ -480,8 +522,10 @@ func (s *Scheduler) tryDispatchThread(t *Thread) {
 					ObserveTime(s.eng.Now() - t.readySince)
 				c.lastRevoke = s.eng.Now()
 				c.everRevoked = true
-				s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
-					"IPI for waking thread %s of spu%d", t.Name, t.SPU)
+				if s.Trace != nil {
+					s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
+						"IPI for waking thread %s of spu%d", t.Name, t.SPU)
+				}
 				s.dispatch(c)
 				if s.AuditHook != nil {
 					s.AuditHook("revoke-ipi")
@@ -550,7 +594,7 @@ func (s *Scheduler) bestAcross(accept func(core.SPUID) bool) *Thread {
 // individually; they wait for the gang placement pass at the tick.
 func (s *Scheduler) best(id core.SPUID) *Thread {
 	var bt *Thread
-	for _, t := range s.runq[id] {
+	for _, t := range s.rq(id) {
 		if t.gang != nil {
 			continue
 		}
@@ -600,8 +644,10 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 	if loan {
 		s.Stat.Loans++
 		s.Metrics.Counter(metrics.KeySchedLoans, t.SPU).Inc()
-		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "loan",
-			"thread %s of spu%d on cpu homed at spu%d", t.Name, t.SPU, c.home)
+		if s.Trace != nil {
+			s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "loan",
+				"thread %s of spu%d on cpu homed at spu%d", t.Name, t.SPU, c.home)
+		}
 		if s.AuditHook != nil {
 			s.AuditHook("loan")
 		}
@@ -621,12 +667,8 @@ func (s *Scheduler) dispatchOn(c *cpu, t *Thread, loan bool) {
 		}
 	}
 	c.sliceSeq++
-	seq := c.sliceSeq
-	s.eng.CallAfter(wall, "sched.slice", func() {
-		if seq == c.sliceSeq {
-			s.sliceEnd(c)
-		}
-	})
+	s.eng.CallAfterU64(wall, "sched.slice", s.sliceFn,
+		(c.sliceSeq&sliceSeqMask)<<sliceCPUBits|uint64(c.idx))
 }
 
 // sliceEnd handles slice expiry or burst completion on a CPU.
@@ -655,7 +697,7 @@ func (s *Scheduler) sliceEnd(c *cpu) {
 		if t.Prof != nil {
 			t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
 		}
-		s.runq[t.SPU] = append(s.runq[t.SPU], t)
+		s.pushRunq(t)
 		s.Stat.Preemptions++
 		s.dispatch(c)
 	}
@@ -679,7 +721,7 @@ func (s *Scheduler) preempt(c *cpu) {
 	if t.Prof != nil {
 		t.Prof.To(profile.StateRunnable, s.cpuCulprit(t.SPU))
 	}
-	s.runq[t.SPU] = append(s.runq[t.SPU], t)
+	s.pushRunq(t)
 	s.Stat.Preemptions++
 }
 
@@ -740,7 +782,7 @@ func (s *Scheduler) Tick() {
 		if c.cur == nil || !c.loan {
 			continue
 		}
-		if len(s.runq[c.home]) == 0 {
+		if len(s.rq(c.home)) == 0 {
 			continue
 		}
 		if s.homeHasIdleCPU(c.home) {
@@ -754,7 +796,7 @@ func (s *Scheduler) Tick() {
 		// the ≤10 ms bound §3.1 argues for.
 		if s.Metrics != nil {
 			oldest := s.eng.Now()
-			for _, t := range s.runq[c.home] {
+			for _, t := range s.rq(c.home) {
 				if t.readySince < oldest {
 					oldest = t.readySince
 				}
@@ -764,8 +806,10 @@ func (s *Scheduler) Tick() {
 		}
 		c.lastRevoke = s.eng.Now()
 		c.everRevoked = true
-		s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
-			"tick revocation for spu%d", c.home)
+		if s.Trace != nil {
+			s.Trace.Emitf(trace.Sched, fmt.Sprintf("cpu%d", c.idx), "revoke",
+				"tick revocation for spu%d", c.home)
+		}
 		s.dispatch(c)
 		if s.AuditHook != nil {
 			s.AuditHook("revoke")
@@ -801,15 +845,24 @@ func (s *Scheduler) homeHasIdleCPU(id core.SPUID) bool {
 // recomputeCPULevels sets each SPU's used CPU level to the number of
 // CPUs its threads currently occupy.
 func (s *Scheduler) recomputeCPULevels() {
-	counts := make(map[core.SPUID]int)
+	for i := range s.cpuCounts {
+		s.cpuCounts[i] = 0
+	}
 	for _, c := range s.cpus {
-		if c.cur != nil {
-			counts[c.cur.SPU]++
+		if c.cur == nil {
+			continue
 		}
+		for int(c.cur.SPU) >= len(s.cpuCounts) {
+			s.cpuCounts = append(s.cpuCounts, 0)
+		}
+		s.cpuCounts[c.cur.SPU]++
 	}
 	for _, u := range s.spus.All() {
 		cur := u.Used(core.CPU)
-		want := float64(counts[u.ID()])
+		var want float64
+		if id := int(u.ID()); id < len(s.cpuCounts) {
+			want = float64(s.cpuCounts[id])
+		}
 		if cur != want {
 			u.Charge(core.CPU, want-cur)
 		}
@@ -861,7 +914,8 @@ func (s *Scheduler) Audit() error {
 			return fmt.Errorf("sched audit: cpu%d runs exited thread %q", c.idx, c.cur.Name)
 		}
 	}
-	for id, q := range s.runq {
+	for i, q := range s.runq {
+		id := core.SPUID(i)
 		for _, t := range q {
 			if t.SPU != id {
 				return fmt.Errorf("sched audit: thread %q of spu%d on spu%d queue", t.Name, t.SPU, id)

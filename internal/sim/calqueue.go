@@ -1,0 +1,237 @@
+package sim
+
+// calQueue is a calendar queue (Brown, CACM 1988): the event population
+// is hashed by time into an array of "day" buckets of fixed width, and a
+// cursor walks the buckets in calendar order, popping events that fall
+// inside the current day's window. For the quasi-stationary populations a
+// machine simulation produces (a near-constant pool of ticks, slices, and
+// disk completions marching forward in time) both enqueue and dequeue are
+// amortized O(1), versus O(log n) for the binary heap.
+//
+// Ordering is exactly (at, seq): a bucket is kept sorted by that key, two
+// events with the same at always hash to the same bucket, and the cursor
+// never pops an event from a later day before finishing the current one —
+// so same-time events fire in FIFO order even across bucket rollover
+// (events a whole calendar "year" apart sharing a bucket slot).
+type calQueue struct {
+	buckets [][]*Event // each sorted ascending by (at, seq), live from heads[i]
+	heads   []int      // index of the first live slot per bucket
+	mask    int64      // len(buckets)-1 (power of two)
+	width   Time       // bucket (day) width in ns
+	n       int        // queued events, including cancelled-not-yet-dropped
+	cur     int64      // current virtual day: window [cur*width, (cur+1)*width)
+
+	// gapEWMA tracks the recent mean separation between consecutively
+	// popped events; rebuilds derive the next bucket width from it so the
+	// calendar adapts to the simulation's event rate deterministically.
+	gapEWMA Time
+	lastPop Time
+	popped  bool
+}
+
+const (
+	calMinBuckets = 256
+	calGrowLoad   = 2 // grow when n > buckets*calGrowLoad
+	calInitWidth  = Time(64 * Microsecond)
+	// calWidthGapFactor sets the target bucket width as a multiple of the
+	// observed mean pop gap: a few events per day keeps both the in-bucket
+	// insertion sort and the empty-day cursor walk short.
+	calWidthGapFactor = 4
+	// calBucketCap pre-sizes every bucket: collision depths up to this
+	// never allocate, so steady-state push traffic only pays for a bucket
+	// when it first exceeds the pre-size (the slice then keeps its grown
+	// capacity for the rest of the run). Eight covers a machine's worth
+	// of slice-end events landing in one day — the common synchronized
+	// burst — without bloating sparse calendars.
+	calBucketCap = 8
+)
+
+func newCalQueue() *calQueue {
+	c := &calQueue{
+		buckets: makeBuckets(calMinBuckets),
+		heads:   make([]int, calMinBuckets),
+		mask:    calMinBuckets - 1,
+		width:   calInitWidth,
+		gapEWMA: calInitWidth / calWidthGapFactor,
+	}
+	return c
+}
+
+// makeBuckets builds a bucket array whose slots all have calBucketCap
+// capacity backed by one contiguous allocation.
+func makeBuckets(nb int) [][]*Event {
+	backing := make([]*Event, nb*calBucketCap)
+	buckets := make([][]*Event, nb)
+	for i := range buckets {
+		buckets[i] = backing[i*calBucketCap : i*calBucketCap : (i+1)*calBucketCap]
+	}
+	return buckets
+}
+
+func (c *calQueue) size() int { return c.n }
+
+func (c *calQueue) each(fn func(*Event)) {
+	for i, b := range c.buckets {
+		for _, ev := range b[c.heads[i]:] {
+			fn(ev)
+		}
+	}
+}
+
+func (c *calQueue) push(ev *Event) {
+	day := int64(ev.at) / int64(c.width)
+	if c.n == 0 || day < c.cur {
+		// An event behind the cursor (scheduled "now" after the cursor
+		// advanced within the current instant's day) pulls it back; the
+		// cursor walk re-skips the empty days cheaply.
+		c.cur = day
+	}
+	slot := day & c.mask
+	b := c.buckets[slot]
+	// Fast path: arrivals are overwhelmingly in (at, seq) order, so the
+	// new event usually belongs at the tail.
+	if len(b) == 0 || !eventLess(ev, b[len(b)-1]) {
+		c.buckets[slot] = append(b, ev)
+	} else {
+		// Binary search the live region for the insertion point.
+		lo, hi := c.heads[slot], len(b)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if eventLess(ev, b[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		b = append(b, nil)
+		copy(b[lo+1:], b[lo:])
+		b[lo] = ev
+		c.buckets[slot] = b
+	}
+	ev.index = int(slot)
+	c.n++
+	if c.n > len(c.buckets)*calGrowLoad {
+		c.rebuild(len(c.buckets) * 2)
+	}
+}
+
+func (c *calQueue) min() *Event {
+	if c.n == 0 {
+		return nil
+	}
+	// Walk from the cursor without committing its advance: peeks happen
+	// at arbitrary points (RunUntil deadline checks) and advancing the
+	// real cursor is pop's job.
+	cur := c.cur
+	for laps := 0; ; laps++ {
+		slot := cur & c.mask
+		b := c.buckets[slot]
+		if h := c.heads[slot]; h < len(b) && b[h].at < Time(cur+1)*c.width {
+			return b[h]
+		}
+		cur++
+		if laps >= len(c.buckets) {
+			return c.scanMin()
+		}
+	}
+}
+
+func (c *calQueue) pop() *Event {
+	if c.n == 0 {
+		return nil
+	}
+	for laps := 0; ; laps++ {
+		slot := c.cur & c.mask
+		b := c.buckets[slot]
+		if h := c.heads[slot]; h < len(b) && b[h].at < Time(c.cur+1)*c.width {
+			ev := b[h]
+			b[h] = nil
+			if h++; h == len(b) {
+				c.buckets[slot] = b[:0]
+				c.heads[slot] = 0
+			} else {
+				c.heads[slot] = h
+				if h > 32 && h > len(b)/2 {
+					// Compact the dead prefix of a long-lived bucket.
+					m := copy(b, b[h:])
+					c.buckets[slot] = b[:m]
+					c.heads[slot] = 0
+				}
+			}
+			c.n--
+			ev.index = -1
+			c.observeGap(ev.at)
+			if nb := len(c.buckets); nb > calMinBuckets && c.n < nb/4 {
+				c.rebuild(nb / 2)
+			}
+			return ev
+		}
+		c.cur++
+		if laps >= len(c.buckets) {
+			// A full lap of empty days: the population is sparse relative
+			// to the calendar year. Jump straight to the day of the global
+			// minimum instead of walking the gap one day at a time.
+			m := c.scanMin()
+			c.cur = int64(m.at) / int64(c.width)
+			laps = 0
+		}
+	}
+}
+
+// observeGap folds the separation between consecutive pops into the EWMA
+// that sizes the next rebuild's bucket width.
+func (c *calQueue) observeGap(at Time) {
+	if c.popped {
+		gap := at - c.lastPop
+		c.gapEWMA += (gap - c.gapEWMA) / 8
+	}
+	c.lastPop, c.popped = at, true
+}
+
+// scanMin finds the earliest event by brute force — only used on the
+// sparse path and during rebuilds, both rare.
+func (c *calQueue) scanMin() *Event {
+	var best *Event
+	for i, b := range c.buckets {
+		for _, ev := range b[c.heads[i]:] {
+			if best == nil || eventLess(ev, best) {
+				best = ev
+			}
+		}
+	}
+	return best
+}
+
+// rebuild resizes the calendar to nb buckets, re-deriving the bucket
+// width from the observed pop-gap EWMA, and redistributes every event.
+func (c *calQueue) rebuild(nb int) {
+	old := c.buckets
+	oldHeads := c.heads
+	w := c.gapEWMA * calWidthGapFactor
+	if w < 1 {
+		w = 1
+	}
+	c.width = w
+	c.buckets = makeBuckets(nb)
+	c.heads = make([]int, nb)
+	c.mask = int64(nb) - 1
+	n := c.n
+	c.n = 0
+	var min *Event
+	for i, b := range old {
+		for _, ev := range b[oldHeads[i]:] {
+			if min == nil || eventLess(ev, min) {
+				min = ev
+			}
+		}
+	}
+	if min != nil {
+		c.cur = int64(min.at) / int64(c.width)
+	}
+	for i, b := range old {
+		for _, ev := range b[oldHeads[i]:] {
+			c.push(ev)
+		}
+	}
+	c.n = n
+}

@@ -10,8 +10,10 @@ type Event struct {
 	at        Time
 	seq       uint64 // tie-breaker for same-time events; preserves FIFO order
 	fn        func()
+	fnU       func(uint64) // closure-free callback form; arg carries the operand
+	arg       uint64
 	name      string
-	index     int // heap index, -1 when not queued
+	index     int // queue position marker, -1 when not queued
 	cancelled bool
 	pooled    bool // fire-and-forget event; recycled after it fires
 }
@@ -33,6 +35,33 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // Pending reports whether the event is still queued and will fire.
 func (ev *Event) Pending() bool { return ev.index >= 0 && !ev.cancelled }
 
+// Handle cancels a pooled (Call/CallAfter) event. Pooled events are
+// recycled the moment they fire, so a bare *Event would dangle: the same
+// allocation may already be some other subsystem's event. The handle
+// captures the scheduling sequence number and goes inert the instant the
+// underlying allocation is reused, so a stale Cancel can never kill an
+// unrelated event. The zero Handle is valid and inert.
+type Handle struct {
+	ev  *Event
+	seq uint64
+}
+
+// Cancel prevents the event from firing, returning true if it was still
+// pending. Cancelling an event that already fired (or a zero Handle) is
+// an inert no-op, even if the allocation has been recycled.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.seq != h.seq || h.ev.index < 0 || h.ev.cancelled {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the handle's event is still queued and will fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.seq == h.seq && h.ev.index >= 0 && !h.ev.cancelled
+}
+
 // Engine is the discrete-event simulation core: a virtual clock and a
 // priority queue of events. It is not safe for concurrent use; the whole
 // simulated machine runs on one OS thread by design. Independent engines
@@ -41,22 +70,38 @@ func (ev *Event) Pending() bool { return ev.index >= 0 && !ev.cancelled }
 type Engine struct {
 	now        Time
 	seq        uint64
-	queue      []*Event // binary min-heap ordered by (at, seq)
+	q          evqueue
+	kind       QueueKind
 	free       []*Event // recycled pool for fire-and-forget events
+	arena      []Event  // current allocation chunk; events are carved from it
+	arenaPos   int
 	dispatched uint64
 	running    bool
 	stop       bool
 }
 
-// NewEngine returns an engine with the clock at zero and no events queued.
-func NewEngine() *Engine { return &Engine{} }
+// arenaChunk is how many events each arena block holds. Blocks are never
+// freed individually — the pool's steady state recycles events, so new
+// blocks are only carved while the live population is still growing.
+const arenaChunk = 128
+
+// NewEngine returns an engine with the clock at zero and no events
+// queued, using the process-default queue implementation (see
+// SetDefaultQueue).
+func NewEngine() *Engine {
+	k := defaultQueue
+	return &Engine{q: newQueue(k), kind: k}
+}
+
+// QueueKind reports which event-queue implementation this engine uses.
+func (e *Engine) QueueKind() QueueKind { return e.kind }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events currently queued (including events
 // that were cancelled but not yet dropped).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.q.size() }
 
 // Dispatched returns the total number of events that have fired.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
@@ -67,89 +112,33 @@ func eventLess(a, b *Event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// push inserts ev into the heap, sifting it up to its position. The heap
-// is hand-rolled rather than container/heap so comparisons and moves stay
-// concrete (*Event) instead of boxing through an interface on every
-// scheduler tick, disk request, and page fault.
-func (e *Engine) push(ev *Event) {
-	i := len(e.queue)
-	e.queue = append(e.queue, ev)
-	q := e.queue
-	for i > 0 {
-		parent := (i - 1) / 2
-		p := q[parent]
-		if !eventLess(ev, p) {
-			break
-		}
-		q[i] = p
-		p.index = i
-		i = parent
-	}
-	q[i] = ev
-	ev.index = i
-}
-
-// pop removes and returns the earliest event, sifting the displaced tail
-// element down by comparing sibling children at each level.
-func (e *Engine) pop() *Event {
-	q := e.queue
-	n := len(q) - 1
-	top := q[0]
-	top.index = -1
-	ev := q[n]
-	q[n] = nil
-	e.queue = q[:n]
-	if n == 0 {
-		return top
-	}
-	q = e.queue
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		c := q[l]
-		if r := l + 1; r < n && eventLess(q[r], c) {
-			l, c = r, q[r]
-		}
-		if !eventLess(c, ev) {
-			break
-		}
-		q[i] = c
-		c.index = i
-		i = l
-	}
-	q[i] = ev
-	ev.index = i
-	return top
-}
-
-// alloc builds an event, drawing from the recycle pool when possible, and
-// queues it.
-func (e *Engine) alloc(t Time, name string, fn func(), pooled bool) *Event {
+// alloc builds an event, drawing from the recycle pool, then the current
+// arena chunk, and queues it.
+func (e *Engine) alloc(t Time, name string, fn func(), fnU func(uint64), arg uint64, pooled bool) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free = e.free[:n-1]
-		*ev = Event{at: t, seq: e.seq, fn: fn, name: name, index: -1, pooled: pooled}
 	} else {
-		ev = &Event{at: t, seq: e.seq, fn: fn, name: name, index: -1, pooled: pooled}
+		if e.arenaPos == len(e.arena) {
+			e.arena = make([]Event, arenaChunk)
+			e.arenaPos = 0
+		}
+		ev = &e.arena[e.arenaPos]
+		e.arenaPos++
 	}
+	*ev = Event{at: t, seq: e.seq, fn: fn, fnU: fnU, arg: arg, name: name, index: -1, pooled: pooled}
 	e.seq++
-	e.push(ev)
+	e.q.push(ev)
 	return ev
 }
 
-// checkSchedule validates scheduling arguments. Scheduling in the past is
-// a programming error in the machine model and panics loudly rather than
+// checkSchedule validates scheduling time. Scheduling in the past is a
+// programming error in the machine model and panics loudly rather than
 // silently corrupting causality.
-func (e *Engine) checkSchedule(t Time, name string, fn func()) {
+func (e *Engine) checkSchedule(t Time, name string) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %s, before now (%s)", name, t, e.now))
-	}
-	if fn == nil {
-		panic(fmt.Sprintf("sim: event %q has nil callback", name))
 	}
 }
 
@@ -158,8 +147,11 @@ func (e *Engine) checkSchedule(t Time, name string, fn func()) {
 // event fires. High-rate fire-and-forget callers should prefer Call,
 // which pools its allocations.
 func (e *Engine) At(t Time, name string, fn func()) *Event {
-	e.checkSchedule(t, name, fn)
-	return e.alloc(t, name, fn, false)
+	e.checkSchedule(t, name)
+	if fn == nil {
+		panic(fmt.Sprintf("sim: event %q has nil callback", name))
+	}
+	return e.alloc(t, name, fn, nil, 0, false)
 }
 
 // After schedules fn to run d after the current time. Negative delays are
@@ -172,33 +164,63 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 	return e.At(e.now+d, name, fn)
 }
 
-// Call schedules fn at absolute time t like At, but returns no handle:
-// the event cannot be cancelled, which lets the engine recycle its
-// allocation the moment it fires. The simulation hot path — disk
-// completions, semaphore releases, process sleeps, scheduler slices —
-// goes through here so steady-state event traffic allocates nothing.
-func (e *Engine) Call(t Time, name string, fn func()) {
-	e.checkSchedule(t, name, fn)
-	e.alloc(t, name, fn, true)
+// Call schedules fn at absolute time t like At, but the event's
+// allocation is recycled the moment it fires, so steady-state
+// fire-and-forget traffic — disk completions, semaphore releases, process
+// sleeps, scheduler slices — allocates nothing. The returned Handle is
+// the only safe way to cancel such an event; it goes inert once the
+// event fires.
+func (e *Engine) Call(t Time, name string, fn func()) Handle {
+	e.checkSchedule(t, name)
+	if fn == nil {
+		panic(fmt.Sprintf("sim: event %q has nil callback", name))
+	}
+	ev := e.alloc(t, name, fn, nil, 0, true)
+	return Handle{ev: ev, seq: ev.seq}
 }
 
 // CallAfter schedules fn to run d after the current time, with Call's
 // pooled fire-and-forget semantics. Negative delays clamp to "now" like
 // After.
-func (e *Engine) CallAfter(d Time, name string, fn func()) {
+func (e *Engine) CallAfter(d Time, name string, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	e.Call(e.now+d, name, fn)
+	return e.Call(e.now+d, name, fn)
+}
+
+// CallU64 is Call for a callback taking a uint64 operand. Passing the
+// operand through the event instead of closing over it lets hot callers
+// (the scheduler's slice-expiry guard) schedule with a single long-lived
+// func value and no per-event closure allocation.
+func (e *Engine) CallU64(t Time, name string, fn func(uint64), arg uint64) Handle {
+	e.checkSchedule(t, name)
+	if fn == nil {
+		panic(fmt.Sprintf("sim: event %q has nil callback", name))
+	}
+	ev := e.alloc(t, name, nil, fn, arg, true)
+	return Handle{ev: ev, seq: ev.seq}
+}
+
+// CallAfterU64 is CallAfter for a callback taking a uint64 operand.
+func (e *Engine) CallAfterU64(d Time, name string, fn func(uint64), arg uint64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.CallU64(e.now+d, name, fn, arg)
 }
 
 // Ticker fires a callback at a fixed period until cancelled. The callback
-// runs for the first time one full period after creation.
+// runs for the first time one full period after creation. Each arming
+// uses a pooled event and the one fire closure allocated at creation, so
+// a steady ticker contributes nothing to allocation traffic.
 type Ticker struct {
 	engine *Engine
 	period Time
+	name   string
 	fn     func()
-	ev     *Event
+	fire   func()
+	h      Handle
 	done   bool
 }
 
@@ -207,36 +229,34 @@ func (e *Engine) Every(period Time, name string, fn func()) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: ticker %q has non-positive period %s", name, period))
 	}
-	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm(name)
-	return t
-}
-
-func (t *Ticker) arm(name string) {
-	t.ev = t.engine.After(t.period, name, func() {
+	t := &Ticker{engine: e, period: period, name: name, fn: fn}
+	t.fire = func() {
 		if t.done {
 			return
 		}
 		t.fn()
 		if !t.done { // fn may have stopped us
-			t.arm(name)
+			t.h = t.engine.CallAfter(t.period, t.name, t.fire)
 		}
-	})
+	}
+	t.h = e.CallAfter(period, name, t.fire)
+	return t
 }
 
 // Stop cancels the ticker; the callback will not run again.
 func (t *Ticker) Stop() {
 	t.done = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.h.Cancel()
 }
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty (after discarding cancelled events).
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.pop()
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.cancelled {
 			if ev.pooled {
 				e.recycle(ev)
@@ -248,21 +268,25 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.dispatched++
-		fn := ev.fn
+		fn, fnU, arg := ev.fn, ev.fnU, ev.arg
 		if ev.pooled {
 			// Recycle before firing so an event scheduled from inside fn
 			// reuses the hot allocation.
 			e.recycle(ev)
 		}
-		fn()
+		if fnU != nil {
+			fnU(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
-	return false
 }
 
 // recycle returns a pooled event to the free list.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.fnU = nil
 	e.free = append(e.free, ev)
 }
 
@@ -306,17 +330,19 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 func (e *Engine) Stop() { e.stop = true }
 
 // peek returns the earliest non-cancelled event without firing it,
-// discarding cancelled events it passes over.
+// discarding (and recycling) cancelled events it passes over.
 func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
+	for {
+		ev := e.q.min()
+		if ev == nil {
+			return nil
+		}
 		if !ev.cancelled {
 			return ev
 		}
-		ev = e.pop()
+		e.q.pop()
 		if ev.pooled {
 			e.recycle(ev)
 		}
 	}
-	return nil
 }

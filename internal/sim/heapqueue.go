@@ -1,0 +1,83 @@
+package sim
+
+// heapQueue is the original binary min-heap event queue, kept as the
+// differential-testing fallback for the calendar queue (-eventq heap).
+// The heap is hand-rolled rather than container/heap so comparisons and
+// moves stay concrete (*Event) instead of boxing through an interface on
+// every scheduler tick, disk request, and page fault.
+type heapQueue struct {
+	q []*Event
+}
+
+func (h *heapQueue) size() int { return len(h.q) }
+
+func (h *heapQueue) each(fn func(*Event)) {
+	for _, ev := range h.q {
+		fn(ev)
+	}
+}
+
+func (h *heapQueue) min() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+// push inserts ev, sifting it up to its position.
+func (h *heapQueue) push(ev *Event) {
+	i := len(h.q)
+	h.q = append(h.q, ev)
+	q := h.q
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down by comparing sibling children at each level.
+func (h *heapQueue) pop() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	q := h.q
+	n := len(q) - 1
+	top := q[0]
+	top.index = -1
+	ev := q[n]
+	q[n] = nil
+	h.q = q[:n]
+	if n == 0 {
+		return top
+	}
+	q = h.q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := q[l]
+		if r := l + 1; r < n && eventLess(q[r], c) {
+			l, c = r, q[r]
+		}
+		if !eventLess(c, ev) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = l
+	}
+	q[i] = ev
+	ev.index = i
+	return top
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// evqueue is the pending-event priority structure behind an Engine. Two
+// implementations exist: the calendar queue (the default — amortized O(1)
+// enqueue/dequeue under the quasi-stationary event populations a machine
+// simulation produces) and the binary min-heap the engine shipped with,
+// kept behind a flag for differential testing. Both dequeue in exactly
+// (at, seq) order, so a run is byte-identical under either.
+type evqueue interface {
+	// push inserts an event.
+	push(ev *Event)
+	// pop removes and returns the earliest event (by at, then seq), or
+	// nil when empty. Cancelled events are returned like any other; the
+	// engine filters them.
+	pop() *Event
+	// min returns the earliest event without removing it, or nil.
+	min() *Event
+	// size returns the number of queued events, including cancelled ones
+	// not yet dropped.
+	size() int
+	// each visits every queued event in unspecified order.
+	each(fn func(*Event))
+}
+
+// QueueKind selects an event-queue implementation.
+type QueueKind int
+
+const (
+	// QueueCalendar is the calendar queue (default).
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the binary min-heap fallback.
+	QueueHeap
+)
+
+// String names the kind ("calendar", "heap").
+func (k QueueKind) String() string {
+	switch k {
+	case QueueCalendar:
+		return "calendar"
+	case QueueHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("queue(%d)", int(k))
+	}
+}
+
+// ParseQueueKind resolves a -eventq flag value.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "", "calendar", "cal":
+		return QueueCalendar, nil
+	case "heap":
+		return QueueHeap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown event queue %q (want calendar or heap)", s)
+	}
+}
+
+// defaultQueue is the implementation NewEngine picks. It is a process-wide
+// default so differential harnesses (pisobench -eventq heap, the
+// byte-identical registry test) can flip every engine a run builds without
+// threading a parameter through each experiment constructor.
+var defaultQueue = QueueCalendar
+
+// SetDefaultQueue selects the queue implementation future NewEngine calls
+// use and returns the previous default. Not safe to call concurrently
+// with engine construction; flip it once at process or test start.
+func SetDefaultQueue(k QueueKind) QueueKind {
+	old := defaultQueue
+	defaultQueue = k
+	return old
+}
+
+// DefaultQueue returns the implementation NewEngine currently picks.
+func DefaultQueue() QueueKind { return defaultQueue }
+
+func newQueue(k QueueKind) evqueue {
+	switch k {
+	case QueueHeap:
+		return &heapQueue{}
+	default:
+		return newCalQueue()
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+)
+
+// eachQueueKind runs a subtest under both event-queue implementations,
+// restoring the process default afterwards.
+func eachQueueKind(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	for _, k := range []QueueKind{QueueCalendar, QueueHeap} {
+		old := SetDefaultQueue(k)
+		t.Run(k.String(), fn)
+		SetDefaultQueue(old)
+	}
+}
+
+// Regression: a pooled (Call/CallAfter) event cancelled before firing
+// used to leak — the dispatch loop dropped cancelled events without
+// returning pooled ones to the free list, so every cancelled timer
+// (scheduler slices invalidated by preemption, ticker stops) cost a
+// fresh allocation forever after. Both the pop path (Run) and the peek
+// path (RunUntil's deadline check) must recycle.
+func TestCancelledPooledEventIsRecycled(t *testing.T) {
+	eachQueueKind(t, func(t *testing.T) {
+		e := NewEngine()
+		h := e.CallAfter(Millisecond, "victim", func() { t.Error("cancelled event fired") })
+		if !h.Cancel() {
+			t.Fatal("Cancel returned false for a pending event")
+		}
+		e.Run()
+		if len(e.free) != 1 {
+			t.Fatalf("free pool holds %d events after Run, want 1 (cancelled pooled event leaked)", len(e.free))
+		}
+		recycled := e.free[0]
+		h2 := e.CallAfter(Millisecond, "reuse", func() {})
+		if h2.ev != recycled {
+			t.Fatal("next Call did not reuse the recycled allocation")
+		}
+		h2.Cancel()
+
+		// Peek path: RunUntil must also recycle cancelled events it skips.
+		e2 := NewEngine()
+		h3 := e2.CallAfter(Millisecond, "victim2", func() { t.Error("cancelled event fired") })
+		h3.Cancel()
+		e2.RunUntil(2 * Millisecond)
+		if len(e2.free) != 1 {
+			t.Fatalf("free pool holds %d events after RunUntil, want 1", len(e2.free))
+		}
+	})
+}
+
+// A handle to a recycled-and-reused allocation must stay inert: the
+// sequence stamp changes on reuse, so the stale Cancel cannot kill the
+// unrelated event now occupying the same memory.
+func TestStaleHandleAfterRecycleCannotCancelSuccessor(t *testing.T) {
+	eachQueueKind(t, func(t *testing.T) {
+		e := NewEngine()
+		stale := e.CallAfter(Millisecond, "first", func() {})
+		e.Run() // fires; allocation returns to the pool
+		fired := false
+		fresh := e.CallAfter(Millisecond, "second", func() { fired = true })
+		if stale.ev != fresh.ev {
+			t.Fatal("test setup: allocation was not reused")
+		}
+		if stale.Cancel() {
+			t.Fatal("stale handle claimed to cancel")
+		}
+		e.Run()
+		if !fired {
+			t.Fatal("stale handle killed the successor event")
+		}
+	})
+}
+
+// Pins the Ticker/RunUntil contract at exact horizon boundaries: a tick
+// landing exactly on the deadline fires within that RunUntil (the
+// horizon is inclusive), its re-arm stays queued for the next run, and
+// resuming produces no duplicate or missing tick at the seam. The
+// invariant auditor's checkpoint/replay comparisons rely on straight
+// runs and resumed runs counting the same ticks.
+func TestTickerRunUntilExactHorizonBoundary(t *testing.T) {
+	eachQueueKind(t, func(t *testing.T) {
+		e := NewEngine()
+		var fires []Time
+		tk := e.Every(10*Millisecond, "tick", func() { fires = append(fires, e.Now()) })
+
+		e.RunUntil(30 * Millisecond)
+		if len(fires) != 3 || fires[2] != 30*Millisecond {
+			t.Fatalf("after RunUntil(30ms): fires = %v, want [10ms 20ms 30ms]", fires)
+		}
+		if e.Now() != 30*Millisecond {
+			t.Fatalf("clock = %v, want 30ms", e.Now())
+		}
+
+		e.RunUntil(60 * Millisecond)
+		if len(fires) != 6 || fires[3] != 40*Millisecond || fires[5] != 60*Millisecond {
+			t.Fatalf("after resume to 60ms: fires = %v, want six ticks ending at 60ms", fires)
+		}
+
+		// Stopping at the horizon: no tick may fire after Stop, and the
+		// cancelled re-arm must not strand the clock.
+		tk.Stop()
+		e.RunUntil(100 * Millisecond)
+		if len(fires) != 6 {
+			t.Fatalf("ticks fired after Stop: %v", fires[6:])
+		}
+		if e.Now() != 100*Millisecond {
+			t.Fatalf("clock = %v, want 100ms", e.Now())
+		}
+	})
+}
+
+// Differential check: both queue implementations dispatch any schedule —
+// including heavy same-time contention — in the identical (at, seq)
+// order. The calendar queue is only a valid default because this holds.
+func TestCalendarMatchesHeapDispatchOrder(t *testing.T) {
+	type rec struct {
+		at Time
+		id int
+	}
+	run := func(kind QueueKind) []rec {
+		old := SetDefaultQueue(kind)
+		defer SetDefaultQueue(old)
+		e := NewEngine()
+		rng := NewRNG(7)
+		var got []rec
+		for i := 0; i < 2000; i++ {
+			id := i
+			// Coarse quantization forces many exact ties; occasional huge
+			// offsets force calendar-year wraparound.
+			at := Time(rng.Int63n(50)) * Millisecond
+			if rng.Intn(20) == 0 {
+				at += Time(rng.Int63n(4)) * 40 * Second
+			}
+			e.At(at, "ev", func() { got = append(got, rec{e.Now(), id}) })
+		}
+		e.Run()
+		return got
+	}
+	cal, heap := run(QueueCalendar), run(QueueHeap)
+	if len(cal) != len(heap) {
+		t.Fatalf("dispatch counts differ: calendar %d, heap %d", len(cal), len(heap))
+	}
+	for i := range cal {
+		if cal[i] != heap[i] {
+			t.Fatalf("dispatch %d differs: calendar %+v, heap %+v", i, cal[i], heap[i])
+		}
+	}
+}
+
+// Same-time FIFO must survive bucket rollover: two events a whole
+// calendar "year" apart share a bucket slot, and a late-pushed earlier
+// event must still pop first; same-instant events pop in seq order no
+// matter which order they entered the bucket.
+func TestCalQueueFIFOAcrossBucketRollover(t *testing.T) {
+	c := newCalQueue()
+	year := Time(int64(len(c.buckets)) * int64(c.width))
+	mk := func(at Time, seq uint64) *Event { return &Event{at: at, seq: seq, index: -1} }
+
+	// Same slot, different years, pushed out of time order.
+	late := mk(year+c.width/2, 1)
+	early := mk(c.width/2, 2)
+	c.push(late)
+	c.push(early)
+	if got := c.pop(); got != early {
+		t.Fatalf("popped %v first, want the earlier-year event", got.at)
+	}
+	if got := c.pop(); got != late {
+		t.Fatalf("popped %v second, want the later-year event", got.at)
+	}
+
+	// Same instant, seq order, interleaved with a year-later neighbor in
+	// the same slot and pushed in scrambled order.
+	a := mk(year+c.width/4, 10)
+	b := mk(year+c.width/4, 11)
+	d := mk(2*year+c.width/4, 12)
+	for _, ev := range []*Event{d, b, a} {
+		c.push(ev)
+	}
+	for i, want := range []*Event{a, b, d} {
+		if got := c.pop(); got != want {
+			t.Fatalf("pop %d: got (at=%v seq=%d), want (at=%v seq=%d)",
+				i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if c.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// The steady-state fire-and-forget path — pooled events, tickers, and
+// the U64 operand form — must not allocate: the whole fast-core claim
+// rests on dispatch being allocation-free once the pool is warm.
+func TestSteadyStateDispatchIsZeroAlloc(t *testing.T) {
+	eachQueueKind(t, func(t *testing.T) {
+		e := NewEngine()
+		fn := func() {}
+		fnU := func(uint64) {}
+		tk := e.Every(Millisecond, "tick", func() {})
+		// Warm the pool and the ticker.
+		for i := 0; i < 64; i++ {
+			e.CallAfter(Microsecond, "warm", fn)
+		}
+		e.RunUntil(10 * Millisecond)
+
+		if avg := testing.AllocsPerRun(200, func() {
+			e.CallAfter(Microsecond, "pooled", fn)
+			e.CallAfterU64(2*Microsecond, "pooledU", fnU, 42)
+			h := e.CallAfter(3*Microsecond, "cancelled", fn)
+			h.Cancel()
+			e.RunUntil(e.Now() + 5*Microsecond)
+		}); avg != 0 {
+			t.Fatalf("steady-state dispatch allocates %v allocs/op, want 0", avg)
+		}
+		tk.Stop()
+	})
+}

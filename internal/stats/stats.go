@@ -14,10 +14,18 @@ import (
 
 // Sample accumulates observations of a scalar quantity and reports the
 // usual summary statistics. The zero value is ready to use.
+//
+// Variance is tracked with Welford's online algorithm (mean plus the
+// centered second moment m2) rather than a raw sum of squares: for
+// samples whose spread is small relative to their magnitude — response
+// times measured in integer nanoseconds, say — sumSq/n - mean² cancels
+// catastrophically and can report a standard deviation of 0 (or pure
+// rounding noise) for data that plainly varies.
 type Sample struct {
 	n        int64
 	sum      float64
-	sumSq    float64
+	mean     float64
+	m2       float64 // sum of squared deviations from the running mean
 	min, max float64
 }
 
@@ -31,7 +39,9 @@ func (s *Sample) Add(v float64) {
 	}
 	s.n++
 	s.sum += v
-	s.sumSq += v * v
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
 }
 
 // AddTime records a sim.Time observation in seconds.
@@ -63,15 +73,15 @@ func (s *Sample) StdDev() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	mean := s.Mean()
-	v := s.sumSq/float64(s.n) - mean*mean
-	if v < 0 { // numeric noise
+	v := s.m2 / float64(s.n)
+	if v < 0 { // m2 cannot go negative, but stay defensive
 		v = 0
 	}
 	return math.Sqrt(v)
 }
 
-// Merge folds other's observations into s.
+// Merge folds other's observations into s, combining the Welford
+// moments pairwise (Chan et al.'s parallel variance update).
 func (s *Sample) Merge(other *Sample) {
 	if other.n == 0 {
 		return
@@ -82,9 +92,12 @@ func (s *Sample) Merge(other *Sample) {
 	if s.n == 0 || other.max > s.max {
 		s.max = other.max
 	}
+	d := other.mean - s.mean
+	n := float64(s.n + other.n)
+	s.m2 += other.m2 + d*d*float64(s.n)*float64(other.n)/n
+	s.mean += d * float64(other.n) / n
 	s.n += other.n
 	s.sum += other.sum
-	s.sumSq += other.sumSq
 }
 
 // TimeWeighted tracks a piecewise-constant value over simulated time and

@@ -44,6 +44,60 @@ func TestSampleStdDev(t *testing.T) {
 	}
 }
 
+// Regression: StdDev was computed as sumSq/n - mean², which cancels
+// catastrophically when the spread is small relative to the magnitude —
+// exactly the shape of response times held in nanoseconds. Two
+// observations one apart at 1e9 have a true population standard
+// deviation of 0.5; the sum-of-squares form lost every significant bit
+// (the clamped result was 0 or pure rounding noise). Welford's update
+// keeps full precision.
+func TestSampleStdDevLargeOffset(t *testing.T) {
+	var s Sample
+	s.Add(1e9)
+	s.Add(1e9 + 1)
+	if got := s.StdDev(); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("StdDev = %g, want 0.5 (catastrophic cancellation)", got)
+	}
+	// Same shape, bigger sample: 1000 observations alternating ±1 around
+	// 4.2e9 (a ~4.2 s response time in ns). True stddev is 1.
+	var big Sample
+	for i := 0; i < 1000; i++ {
+		big.Add(4.2e9 + float64(i%2*2-1))
+	}
+	if got := big.StdDev(); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("StdDev = %g, want 1", got)
+	}
+}
+
+// Merge must combine second moments exactly (Chan et al.), including
+// from an empty receiver and at large magnitudes.
+func TestSampleMergeStdDev(t *testing.T) {
+	var a, b, combined Sample
+	for i := 0; i < 500; i++ {
+		v := 1e9 + float64(i)
+		a.Add(v)
+		combined.Add(v)
+	}
+	for i := 500; i < 1000; i++ {
+		v := 1e9 + float64(i)
+		b.Add(v)
+		combined.Add(v)
+	}
+	a.Merge(&b)
+	if got, want := a.StdDev(), combined.StdDev(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("merged StdDev = %g, combined = %g", got, want)
+	}
+	var empty Sample
+	empty.Merge(&b)
+	var bAlone Sample
+	for i := 500; i < 1000; i++ {
+		bAlone.Add(1e9 + float64(i))
+	}
+	if got, want := empty.StdDev(), bAlone.StdDev(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("merge into empty: StdDev = %g, want %g", got, want)
+	}
+}
+
 func TestSampleAddTime(t *testing.T) {
 	var s Sample
 	s.AddTime(500 * sim.Millisecond)
