@@ -202,6 +202,11 @@ func report(sys *perfiso.System, w io.Writer, kinds []trace.Kind, spu string) {
 	if p := sys.Kernel().Profile(); p != nil {
 		printAttribution(p, w)
 	}
+	if locks := sys.Kernel().Locks(); locks != nil {
+		if s := locks.String(); strings.Count(s, "\n") > 1 { // header plus rows
+			fmt.Fprintf(w, "\nkernel locks:\n%s", s)
+		}
+	}
 	if tr := sys.Kernel().Tracer(); tr != nil && tr.Len() > 0 {
 		fmt.Fprintf(w, "\nlast %d resource-management decisions:\n", tr.Len())
 		tr.DumpFiltered(w, kinds, spu)

@@ -29,6 +29,7 @@ type AttributionRow struct {
 	Swap        int64  `json:"swap_ns"`
 	Sleep       int64  `json:"sleep_ns"`
 	Sync        int64  `json:"sync_ns"`
+	LockWait    int64  `json:"lockwait_ns"`
 	Ready       int64  `json:"ready_ns"`
 }
 
@@ -36,7 +37,8 @@ type AttributionRow struct {
 // profiler's conservation identity held.
 func (r AttributionRow) Sum() int64 {
 	return r.Run + r.Runnable + r.MemWait + r.DiskWait + r.DiskQueue +
-		r.DiskService + r.Backoff + r.Swap + r.Sleep + r.Sync + r.Ready
+		r.DiskService + r.Backoff + r.Swap + r.Sleep + r.Sync +
+		r.LockWait + r.Ready
 }
 
 // TheftRow is one cell of the interference matrix: simulated time the
@@ -102,6 +104,7 @@ func summarizeAttribution(k *kernel.Kernel, config string) (AttributionSummary, 
 			Swap:        b(profile.StateSwap),
 			Sleep:       b(profile.StateSleep),
 			Sync:        b(profile.StateSync),
+			LockWait:    b(profile.StateLockWait),
 			Ready:       b(profile.StateReady),
 		})
 	}

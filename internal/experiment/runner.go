@@ -176,6 +176,14 @@ func Registry() []Spec {
 			},
 		},
 		{
+			ID: "lock-leak", Aliases: []string{"abl-lockleak"},
+			Title: "Lock-sharing erosion of performance isolation", Ablation: true,
+			Run: func() Output {
+				r := RunLockLeak()
+				return Output{Sections: []Section{{ID: "lock-leak", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
+			},
+		},
+		{
 			ID: "abl-revocation", Title: "Ablation: CPU revocation latency", Ablation: true,
 			Run: func() Output {
 				r := RunAblationRevocation()

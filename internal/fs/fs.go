@@ -1,10 +1,14 @@
 package fs
 
 import (
+	"fmt"
+
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
+	"perfiso/internal/lock"
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
+	"perfiso/internal/profile"
 	"perfiso/internal/sim"
 )
 
@@ -59,14 +63,27 @@ type FileSystem struct {
 
 	// RootInode is the §3.4 inode-lock semaphore guarding pathname
 	// lookups; its mode (mutex vs readers-writer) is the abl-sem knob.
-	RootInode *Semaphore
+	// With inode sharding (SetInodeShards) it is shard 0 — the shard
+	// every SPU maps to in the single-tree layout.
+	RootInode *lock.Lock
+
+	// inodes holds the inode-lock shards; Lookup maps an SPU's
+	// pathname traffic to shard spu mod len. One shard is the single
+	// shared root inode of §3.4; a shard per SPU models private
+	// directory trees, under which lock interference vanishes.
+	inodes []*lock.Lock
 
 	// pageInsert is the §3.4 page-insert-lock: it protects the mapping
 	// from (file, offset) to physical pages. The original IRIX 5.3 had
 	// one coarse lock; the paper "reduced the granularity", which we
 	// model as lock striping. PageInsertHold is the per-insertion hold.
-	pageInsert     []*Semaphore
+	pageInsert     *lock.Sharded
 	PageInsertHold sim.Time
+
+	// lockProf, when non-nil, wires every fs lock (including ones made
+	// by later SetPageInsertStripes/SetInodeShards calls) into the
+	// interference matrix.
+	lockProf *profile.Profiler
 
 	ClusterPages      int64
 	ReadAheadPages    int64
@@ -89,12 +106,13 @@ func New(eng *sim.Engine, mm *mem.Manager, inodeMode SemMode) *FileSystem {
 		eng:               eng,
 		mm:                mm,
 		cache:             make(map[cacheKey]*CachePage),
-		RootInode:         NewSemaphore(eng, inodeMode),
+		RootInode:         lock.New(eng, "fs.inode", inodeMode),
 		ClusterPages:      DefaultClusterPages,
 		ReadAheadPages:    DefaultReadAheadPages,
 		FlushClusterPages: DefaultFlushClusterPages,
 		LookupHold:        DefaultLookupHold,
 	}
+	f.inodes = []*lock.Lock{f.RootInode}
 	f.DirtyHighWater = mm.TotalPages() / 4
 	f.PageInsertHold = DefaultPageInsertHold
 	f.SetPageInsertStripes(DefaultPageInsertStripes)
@@ -105,30 +123,55 @@ func New(eng *sim.Engine, mm *mem.Manager, inodeMode SemMode) *FileSystem {
 // the original coarse IRIX lock, larger values are the reduced
 // granularity of the fixed kernel (§3.4). Call before submitting work.
 func (fs *FileSystem) SetPageInsertStripes(n int) {
-	if n <= 0 {
+	fs.pageInsert = lock.NewSharded(fs.eng, "fs.pageinsert", lock.Mutex, n)
+	fs.pageInsert.SetProfile(fs.lockProf)
+}
+
+// SetInodeShards reconfigures the inode-lock layout (mode unchanged):
+// n <= 1 keeps the single shared root inode of §3.4; larger n maps
+// each SPU's pathname traffic to shard spu mod n, so at n at or above
+// the SPU count every SPU's lookups run under a private tree. Call
+// before submitting work.
+func (fs *FileSystem) SetInodeShards(n int) {
+	if n < 1 {
 		n = 1
 	}
-	fs.pageInsert = make([]*Semaphore, n)
-	for i := range fs.pageInsert {
-		fs.pageInsert[i] = NewSemaphore(fs.eng, SemMutex)
+	mode := fs.RootInode.Mode()
+	fs.inodes = make([]*lock.Lock, n)
+	fs.inodes[0] = fs.RootInode
+	for i := 1; i < n; i++ {
+		fs.inodes[i] = lock.New(fs.eng, fmt.Sprintf("fs.inode.%d", i), mode)
+		fs.inodes[i].SetProfile(fs.lockProf)
 	}
+}
+
+// InodeLocks returns the live inode-lock shards (RootInode first).
+func (fs *FileSystem) InodeLocks() []*lock.Lock { return fs.inodes }
+
+// PageInsertLocks returns the page-insert stripe set.
+func (fs *FileSystem) PageInsertLocks() *lock.Sharded { return fs.pageInsert }
+
+// SetLockProfile wires every fs lock — present and future — into the
+// profiler's interference matrix as lock-resource theft.
+func (fs *FileSystem) SetLockProfile(p *profile.Profiler) {
+	fs.lockProf = p
+	for _, l := range fs.inodes {
+		l.SetProfile(p)
+	}
+	fs.pageInsert.SetProfile(p)
 }
 
 // PageInsertContention returns the total acquisitions and queueing time
 // across all page-insert-lock stripes.
 func (fs *FileSystem) PageInsertContention() (acquisitions int64, wait sim.Time) {
-	for _, s := range fs.pageInsert {
-		acquisitions += s.Acquisitions
-		wait += s.WaitTotal
-	}
-	return acquisitions, wait
+	return fs.pageInsert.Totals()
 }
 
 // withInsertLock runs fn holding the page-insert-lock stripe for
-// (f, idx).
-func (fs *FileSystem) withInsertLock(f *File, idx int64, fn func()) {
-	stripe := fs.pageInsert[uint64(f.seq*1315423911+idx)%uint64(len(fs.pageInsert))]
-	stripe.Acquire(false, fs.PageInsertHold, fn)
+// (f, idx) on behalf of spu.
+func (fs *FileSystem) withInsertLock(spu core.SPUID, f *File, idx int64, fn func()) {
+	stripe := fs.pageInsert.Shard(uint64(f.seq*1315423911 + idx))
+	stripe.Acquire(spu, false, fs.PageInsertHold, fn)
 }
 
 // submit issues a disk request with graceful degradation: a transfer
@@ -184,7 +227,8 @@ func (fs *FileSystem) lookup(spu core.SPUID, f *File, idx int64) *CachePage {
 // readers-writer mode) and proceeds after the hold time.
 func (fs *FileSystem) Lookup(spu core.SPUID, done func()) {
 	fs.Stat.Lookups++
-	fs.RootInode.Acquire(true, fs.LookupHold, func() {
+	shard := fs.inodes[int(spu)%len(fs.inodes)]
+	shard.Acquire(spu, true, fs.LookupHold, func() {
 		fs.eng.CallAfter(fs.LookupHold, "fs.lookup", done)
 	})
 }
@@ -322,7 +366,7 @@ func (fs *FileSystem) readCluster(spu core.SPUID, f *File, cluster []*CachePage)
 		cp := cp
 		// Inserting a page into the (file, offset) -> frame mapping
 		// takes the page-insert-lock stripe (§3.4).
-		fs.withInsertLock(f, cp.idx, func() {
+		fs.withInsertLock(spu, f, cp.idx, func() {
 			fs.mm.Request(spu, mem.Cache, cp, func(p *mem.Page) {
 				cp.page = p
 				fs.mm.SetPinned(p, true)
@@ -382,7 +426,7 @@ func (fs *FileSystem) Write(spu core.SPUID, f *File, off, n int64, done func()) 
 		pending++
 		cp.io = true
 		cpIdx := idx
-		fs.withInsertLock(f, cpIdx, func() {
+		fs.withInsertLock(spu, f, cpIdx, func() {
 			fs.mm.Request(spu, mem.Cache, cp, func(p *mem.Page) {
 				cp.page = p
 				cp.io = false

@@ -8,15 +8,15 @@ import (
 
 func TestPageInsertDefaultsAndReconfigure(t *testing.T) {
 	r := newRig(1000)
-	if len(r.fs.pageInsert) != DefaultPageInsertStripes {
-		t.Fatalf("default stripes = %d", len(r.fs.pageInsert))
+	if r.fs.PageInsertLocks().Len() != DefaultPageInsertStripes {
+		t.Fatalf("default stripes = %d", r.fs.PageInsertLocks().Len())
 	}
 	r.fs.SetPageInsertStripes(1)
-	if len(r.fs.pageInsert) != 1 {
+	if r.fs.PageInsertLocks().Len() != 1 {
 		t.Fatal("reconfigure failed")
 	}
 	r.fs.SetPageInsertStripes(0) // coerces to 1
-	if len(r.fs.pageInsert) != 1 {
+	if r.fs.PageInsertLocks().Len() != 1 {
 		t.Fatal("zero stripes should coerce to 1")
 	}
 }

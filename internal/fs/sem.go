@@ -5,131 +5,23 @@
 // writes flushed in batches under the shared SPU (§3.3), and the kernel
 // semaphores of §3.4 (the inode lock whose granularity the paper had to
 // fix to keep isolation working).
+//
+// The semaphores themselves are internal/lock.Lock instances — the
+// general kernel-lock model with per-SPU ledgers and interference
+// attribution — of which the fs locks were the original ad-hoc
+// prototypes. This file keeps the §3.4 naming.
 package fs
 
-import "perfiso/internal/sim"
+import "perfiso/internal/lock"
 
 // SemMode selects the semaphore flavour of §3.4.
-type SemMode int
+type SemMode = lock.Mode
 
 const (
 	// SemMutex is a plain mutual-exclusion semaphore: every acquisition
 	// is exclusive. This is the original IRIX 5.3 inode lock.
-	SemMutex SemMode = iota
+	SemMutex = lock.Mutex
 	// SemRW is a multiple-readers/one-writer semaphore, the fix the
 	// paper applied because "the dominant operation is lookups".
-	SemRW
+	SemRW = lock.RW
 )
-
-// String names the mode.
-func (m SemMode) String() string {
-	if m == SemMutex {
-		return "mutex"
-	}
-	return "rw"
-}
-
-// Semaphore is a simulated kernel semaphore with FIFO queuing. Holders
-// specify how long they keep it; contention shows up as queueing delay —
-// the "additional stall time" of §3.4.
-type Semaphore struct {
-	eng  *sim.Engine
-	mode SemMode
-
-	readers int
-	writer  bool
-	queue   []semWaiter
-
-	// Contention statistics.
-	Acquisitions int64
-	Contended    int64    // acquisitions that had to queue
-	WaitTotal    sim.Time // total time spent queued
-}
-
-type semWaiter struct {
-	shared bool
-	hold   sim.Time
-	fn     func()
-	since  sim.Time
-}
-
-// NewSemaphore creates a semaphore in the given mode.
-func NewSemaphore(eng *sim.Engine, mode SemMode) *Semaphore {
-	return &Semaphore{eng: eng, mode: mode}
-}
-
-// Mode returns the semaphore's mode.
-func (s *Semaphore) Mode() SemMode { return s.mode }
-
-// Acquire requests the semaphore for hold simulated time, shared if the
-// caller is a reader (only meaningful in SemRW mode; under SemMutex all
-// acquisitions are exclusive). fn runs once the semaphore is held; the
-// semaphore releases itself automatically after hold.
-func (s *Semaphore) Acquire(shared bool, hold sim.Time, fn func()) {
-	if s.mode == SemMutex {
-		shared = false
-	}
-	s.Acquisitions++
-	w := semWaiter{shared: shared, hold: hold, fn: fn, since: s.eng.Now()}
-	if s.canGrant(w) && len(s.queue) == 0 {
-		s.grant(w)
-		return
-	}
-	s.Contended++
-	s.queue = append(s.queue, w)
-}
-
-// canGrant reports whether the waiter could enter right now.
-func (s *Semaphore) canGrant(w semWaiter) bool {
-	if s.writer {
-		return false
-	}
-	if w.shared {
-		return true
-	}
-	return s.readers == 0
-}
-
-// grant admits a waiter and schedules its release.
-func (s *Semaphore) grant(w semWaiter) {
-	s.WaitTotal += s.eng.Now() - w.since
-	if w.shared {
-		s.readers++
-	} else {
-		s.writer = true
-	}
-	w.fn()
-	s.eng.CallAfter(w.hold, "sem.release", func() { s.release(w.shared) })
-}
-
-// release exits one holder and admits queued waiters FIFO (readers may
-// batch; a writer at the head blocks later readers — no starvation).
-func (s *Semaphore) release(shared bool) {
-	if shared {
-		s.readers--
-		if s.readers < 0 {
-			panic("fs: semaphore reader underflow")
-		}
-	} else {
-		if !s.writer {
-			panic("fs: semaphore writer underflow")
-		}
-		s.writer = false
-	}
-	for len(s.queue) > 0 && s.canGrant(s.queue[0]) {
-		w := s.queue[0]
-		s.queue = s.queue[1:]
-		s.grant(w)
-	}
-}
-
-// QueueLen returns the number of queued waiters.
-func (s *Semaphore) QueueLen() int { return len(s.queue) }
-
-// MeanWait returns the average queueing delay per acquisition.
-func (s *Semaphore) MeanWait() sim.Time {
-	if s.Acquisitions == 0 {
-		return 0
-	}
-	return s.WaitTotal / sim.Time(s.Acquisitions)
-}

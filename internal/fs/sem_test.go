@@ -3,14 +3,19 @@ package fs
 import (
 	"testing"
 
+	"perfiso/internal/lock"
 	"perfiso/internal/sim"
 )
 
+// The kernel semaphore is now backed by internal/lock; these tests pin
+// the fs-visible semantics (grant timing, fairness, stats) through the
+// same aliases fs exposes.
+
 func TestSemaphoreUncontendedIsImmediate(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemMutex)
+	s := lock.New(eng, "t", SemMutex)
 	var got bool
-	s.Acquire(false, sim.Millisecond, func() { got = true })
+	s.Acquire(spuA, false, sim.Millisecond, func() { got = true })
 	if !got {
 		t.Fatal("uncontended acquire should grant synchronously")
 	}
@@ -21,10 +26,10 @@ func TestSemaphoreUncontendedIsImmediate(t *testing.T) {
 
 func TestMutexSerializesEverything(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemMutex)
+	s := lock.New(eng, "t", SemMutex)
 	var grants []sim.Time
 	for i := 0; i < 3; i++ {
-		s.Acquire(true, 10*sim.Millisecond, func() { grants = append(grants, eng.Now()) })
+		s.Acquire(spuA, true, 10*sim.Millisecond, func() { grants = append(grants, eng.Now()) })
 	}
 	eng.Run()
 	want := []sim.Time{0, 10 * sim.Millisecond, 20 * sim.Millisecond}
@@ -40,10 +45,10 @@ func TestMutexSerializesEverything(t *testing.T) {
 
 func TestRWAllowsConcurrentReaders(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemRW)
+	s := lock.New(eng, "t", SemRW)
 	var grants []sim.Time
 	for i := 0; i < 3; i++ {
-		s.Acquire(true, 10*sim.Millisecond, func() { grants = append(grants, eng.Now()) })
+		s.Acquire(spuA, true, 10*sim.Millisecond, func() { grants = append(grants, eng.Now()) })
 	}
 	eng.Run()
 	for i, g := range grants {
@@ -55,11 +60,11 @@ func TestRWAllowsConcurrentReaders(t *testing.T) {
 
 func TestRWWriterExcludesReaders(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemRW)
+	s := lock.New(eng, "t", SemRW)
 	var order []string
-	s.Acquire(false, 10*sim.Millisecond, func() { order = append(order, "w") })
-	s.Acquire(true, sim.Millisecond, func() { order = append(order, "r1") })
-	s.Acquire(true, sim.Millisecond, func() { order = append(order, "r2") })
+	s.Acquire(spuA, false, 10*sim.Millisecond, func() { order = append(order, "w") })
+	s.Acquire(spuA, true, sim.Millisecond, func() { order = append(order, "r1") })
+	s.Acquire(spuA, true, sim.Millisecond, func() { order = append(order, "r2") })
 	eng.Run()
 	if len(order) != 3 || order[0] != "w" {
 		t.Fatalf("order = %v", order)
@@ -72,13 +77,13 @@ func TestRWWriterExcludesReaders(t *testing.T) {
 
 func TestRWWriterNotStarvedByReaders(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemRW)
+	s := lock.New(eng, "t", SemRW)
 	var writerAt sim.Time = -1
-	s.Acquire(true, 10*sim.Millisecond, func() {})
-	s.Acquire(false, sim.Millisecond, func() { writerAt = eng.Now() })
+	s.Acquire(spuA, true, 10*sim.Millisecond, func() {})
+	s.Acquire(spuA, false, sim.Millisecond, func() { writerAt = eng.Now() })
 	// A reader arriving behind the queued writer must not jump it.
 	var lateReaderAt sim.Time = -1
-	s.Acquire(true, sim.Millisecond, func() { lateReaderAt = eng.Now() })
+	s.Acquire(spuA, true, sim.Millisecond, func() { lateReaderAt = eng.Now() })
 	eng.Run()
 	if writerAt != 10*sim.Millisecond {
 		t.Fatalf("writer at %v", writerAt)
@@ -90,12 +95,15 @@ func TestRWWriterNotStarvedByReaders(t *testing.T) {
 
 func TestSemaphoreWaitStats(t *testing.T) {
 	eng := sim.NewEngine()
-	s := NewSemaphore(eng, SemMutex)
-	s.Acquire(false, 10*sim.Millisecond, func() {})
-	s.Acquire(false, 10*sim.Millisecond, func() {})
+	s := lock.New(eng, "t", SemMutex)
+	s.Acquire(spuA, false, 10*sim.Millisecond, func() {})
+	s.Acquire(spuA, false, 10*sim.Millisecond, func() {})
 	eng.Run()
-	if s.MeanWait() != 5*sim.Millisecond { // (0 + 10ms)/2
+	if s.MeanWait() != 5*sim.Millisecond { // (0 + 10ms)/2, diluted by the free grant
 		t.Fatalf("MeanWait = %v", s.MeanWait())
+	}
+	if s.MeanContendedWait() != 10*sim.Millisecond { // the §3.4 stall, undiluted
+		t.Fatalf("MeanContendedWait = %v", s.MeanContendedWait())
 	}
 	if s.Acquisitions != 2 {
 		t.Fatalf("Acquisitions = %d", s.Acquisitions)
@@ -123,15 +131,36 @@ func TestLookupGoesThroughRootInode(t *testing.T) {
 	}
 }
 
+func TestInodeShardsRouteLookupsPrivately(t *testing.T) {
+	r := newRig(100)
+	r.fs.SetInodeShards(2)
+	var done int
+	r.fs.Lookup(spuA, func() { done++ })
+	r.fs.Lookup(spuB, func() { done++ })
+	r.eng.Run()
+	if done != 2 {
+		t.Fatalf("lookups completed = %d", done)
+	}
+	locks := r.fs.InodeLocks()
+	if len(locks) != 2 {
+		t.Fatalf("inode shards = %d", len(locks))
+	}
+	for i, l := range locks {
+		if l.Acquisitions != 1 {
+			t.Fatalf("shard %d acquisitions = %d, want 1 (per-SPU routing)", i, l.Acquisitions)
+		}
+	}
+}
+
 func TestMutexInodeSlowerThanRWUnderContention(t *testing.T) {
 	// §3.4: with many concurrent lookups, the rw inode lock finishes
 	// sooner than the mutex version.
 	run := func(mode SemMode) sim.Time {
 		eng := sim.NewEngine()
-		s := NewSemaphore(eng, mode)
+		s := lock.New(eng, "t", mode)
 		var last sim.Time
 		for i := 0; i < 50; i++ {
-			s.Acquire(true, 100*sim.Microsecond, func() { last = eng.Now() })
+			s.Acquire(spuA, true, 100*sim.Microsecond, func() { last = eng.Now() })
 		}
 		eng.Run()
 		return last

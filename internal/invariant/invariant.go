@@ -23,6 +23,7 @@ import (
 
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
+	"perfiso/internal/lock"
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
 	"perfiso/internal/profile"
@@ -86,6 +87,11 @@ type Targets struct {
 	// every finished task's buckets must sum exactly to its response
 	// time (integer nanoseconds, no epsilon).
 	Profile *profile.Profiler
+	// Locks, when non-nil, adds the kernel-lock conservation laws
+	// (internal/lock): holders+waiters accounting, reader/writer
+	// exclusion, liveness of queued waiters, revocability of loaned
+	// hold time, and per-SPU ledger conservation.
+	Locks *lock.Table
 }
 
 // Auditor runs invariant checks against a machine. In fail-fast mode
@@ -150,6 +156,18 @@ func (a *Auditor) CheckAll(boundary string) {
 		if err := a.t.Profile.AuditConservation(); err != nil {
 			a.report("profile", NoSPU, boundary, err)
 		}
+	}
+	a.checkLocks(boundary)
+}
+
+// checkLocks runs every registered lock's and gate's conservation
+// laws (see lock.Lock.Audit and lock.Gate.Audit).
+func (a *Auditor) checkLocks(boundary string) {
+	if a.t.Locks == nil {
+		return
+	}
+	if err := a.t.Locks.Audit(); err != nil {
+		a.report("locks", NoSPU, boundary, err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"perfiso/internal/fault"
 	"perfiso/internal/fs"
 	"perfiso/internal/invariant"
+	"perfiso/internal/lock"
 	"perfiso/internal/machine"
 	"perfiso/internal/mem"
 	"perfiso/internal/metrics"
@@ -53,6 +54,24 @@ type Options struct {
 	// 1 reproduces the original coarse lock, 0 means the fixed kernel's
 	// default striping.
 	PageInsertStripes int
+	// InodeShards sets the inode-lock sharding (the §3.4 remediation
+	// generalized): 0 or 1 is the single shared root inode; at or
+	// above the SPU count every SPU's pathname traffic runs under a
+	// private tree and inode-lock interference vanishes.
+	InodeShards int
+	// RunqLockHold and FrameLockHold give the accounting-only run-queue
+	// and frame-pool lock models (internal/lock.Gate) a per-critical-
+	// section cost, making their serialization measurable in the lock
+	// table and the interference matrix. Zero keeps pure acquisition
+	// counting. Gates never perturb event timing either way.
+	RunqLockHold  sim.Time
+	FrameLockHold sim.Time
+	// CoarseKernelLocks forces the run-queue and frame-pool gates onto
+	// one shared lock each even under isolating schemes — the unfixed
+	// coarse kernel §3.4 warns about. By default the gates are shared
+	// only under SMP (whose single global structures a coarse lock
+	// matches) and per-SPU under Quo/PIso.
+	CoarseKernelLocks bool
 	// IPIRevoke enables immediate CPU revocation (§3.1 extension).
 	IPIRevoke bool
 	// CacheReload enables the §3.1 cache-pollution cost model: extra
@@ -165,6 +184,7 @@ type Kernel struct {
 	profiler *profile.Profiler
 	auditor  *invariant.Auditor
 	watchdog *invariant.Watchdog
+	locks    *lock.Table
 }
 
 // New builds (but does not boot) a kernel on the given hardware with
@@ -199,6 +219,22 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 	if opts.PageInsertStripes > 0 {
 		k.fsys.SetPageInsertStripes(opts.PageInsertStripes)
 	}
+	if opts.InodeShards > 1 {
+		k.fsys.SetInodeShards(opts.InodeShards)
+	}
+	// The kernel lock table: every modelled lock in one namespace for
+	// audits, snapshots, and the pisosim lock report. Run-queue and
+	// frame-pool gates are shared (one coarse lock) exactly when the
+	// scheme hangs those structures under one lock: SMP, or forced by
+	// CoarseKernelLocks.
+	coarse := scheme == core.SMP || opts.CoarseKernelLocks
+	k.sch.RunqLock = lock.NewGateSet(eng, "sched.runq", opts.RunqLockHold, coarse)
+	k.mm.FrameLock = lock.NewGateSet(eng, "mem.framepool", opts.FrameLockHold, coarse)
+	k.locks = lock.NewTable()
+	k.locks.AddLocks(k.fsys.InodeLocks)
+	k.locks.AddLocks(func() []*lock.Lock { return k.fsys.PageInsertLocks().Locks() })
+	k.locks.AddGates(k.sch.RunqLock.Gates)
+	k.locks.AddGates(k.mm.FrameLock.Gates)
 	for _, dp := range cfg.Disks {
 		d := disk.New(eng, dp, k.diskScheduler(), opts.DiskHalfLife)
 		d.Merge = opts.DiskMerge
@@ -221,6 +257,9 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 		for _, d := range k.disks {
 			d.Profile = k.profiler
 		}
+		k.fsys.SetLockProfile(k.profiler)
+		k.sch.RunqLock.SetProfile(k.profiler)
+		k.mm.FrameLock.SetProfile(k.profiler)
 	}
 	if !opts.AuditDisabled {
 		k.auditor = invariant.New(invariant.Targets{
@@ -230,6 +269,7 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 			Mem:     k.mm,
 			Disks:   k.disks,
 			Profile: k.profiler,
+			Locks:   k.locks,
 		})
 		k.auditor.Collect = opts.AuditCollect
 		k.auditor.Metrics = k.metrics
@@ -671,6 +711,7 @@ func (k *Kernel) Snapshot() []byte {
 	if k.injector != nil {
 		k.injector.Snapshot(enc)
 	}
+	k.locks.Snapshot(enc)
 	enc.Section("kernel")
 	enc.Int("live_procs", int64(k.liveProcs))
 	return enc.Bytes()
@@ -678,6 +719,11 @@ func (k *Kernel) Snapshot() []byte {
 
 // Auditor returns the invariant auditor, or nil when disabled.
 func (k *Kernel) Auditor() *invariant.Auditor { return k.auditor }
+
+// Locks returns the kernel lock table: every modelled lock — the §3.4
+// fs semaphores plus the run-queue and frame-pool gates — in one
+// namespace for reports, audits, and snapshots.
+func (k *Kernel) Locks() *lock.Table { return k.locks }
 
 // Watchdog returns the livelock watchdog, or nil when disabled.
 func (k *Kernel) Watchdog() *invariant.Watchdog { return k.watchdog }

@@ -1,0 +1,161 @@
+package lock
+
+import (
+	"fmt"
+	"strings"
+
+	"perfiso/internal/core"
+	"perfiso/internal/profile"
+	"perfiso/internal/sim"
+	"perfiso/internal/snap"
+)
+
+// Sharded spreads one logical lock over n independent shards — the
+// §3.4 remediation ("this problem was later fixed by using a finer
+// grain locking structure"). Callers hash their protected object to a
+// shard; per-SPU layouts route each SPU's traffic to shard spu mod n,
+// so at n at or above the SPU count every SPU owns a private shard and
+// cross-SPU lock interference vanishes by construction.
+type Sharded struct {
+	name   string
+	shards []*Lock
+}
+
+// NewSharded creates n shards of the named lock (n minimum 1).
+func NewSharded(eng *sim.Engine, name string, mode Mode, n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{name: name}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, New(eng, fmt.Sprintf("%s.%d", name, i), mode))
+	}
+	return s
+}
+
+// SetProfile wires every shard into the interference matrix.
+func (s *Sharded) SetProfile(p *profile.Profiler) {
+	for _, l := range s.shards {
+		l.SetProfile(p)
+	}
+}
+
+// Shard returns the shard for a hashed key.
+func (s *Sharded) Shard(key uint64) *Lock {
+	return s.shards[key%uint64(len(s.shards))]
+}
+
+// ForSPU returns the shard an SPU's traffic maps to.
+func (s *Sharded) ForSPU(spu core.SPUID) *Lock {
+	return s.shards[int(spu)%len(s.shards)]
+}
+
+// Locks returns the shards in order.
+func (s *Sharded) Locks() []*Lock { return s.shards }
+
+// Len returns the shard count.
+func (s *Sharded) Len() int { return len(s.shards) }
+
+// Totals aggregates acquisition and wait across the shards.
+func (s *Sharded) Totals() (acquisitions int64, wait sim.Time) {
+	for _, l := range s.shards {
+		acquisitions += l.Acquisitions
+		wait += l.WaitTotal
+	}
+	return
+}
+
+// Table is the kernel's registry of every modelled lock — event-based
+// locks and accounting gates — so audits, snapshots, and CLI reports
+// see one namespace. Sources are late-bound functions because lock
+// populations move after construction: experiments re-stripe the
+// page-insert lock, and per-SPU gates appear on first use.
+type Table struct {
+	locks []func() []*Lock
+	gates []func() []*Gate
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{} }
+
+// AddLocks registers a late-bound source of event-based locks.
+func (t *Table) AddLocks(src func() []*Lock) { t.locks = append(t.locks, src) }
+
+// AddGates registers a late-bound source of gates.
+func (t *Table) AddGates(src func() []*Gate) { t.gates = append(t.gates, src) }
+
+// Locks returns the live event-based locks, in registration order.
+func (t *Table) Locks() []*Lock {
+	var out []*Lock
+	for _, src := range t.locks {
+		out = append(out, src()...)
+	}
+	return out
+}
+
+// Gates returns the live gates, in registration order.
+func (t *Table) Gates() []*Gate {
+	var out []*Gate
+	for _, src := range t.gates {
+		out = append(out, src()...)
+	}
+	return out
+}
+
+// Audit runs every registered lock's and gate's conservation laws,
+// returning the first failure. It iterates sources in place — the
+// periodic invariant audit runs inside the zero-alloc dispatch window,
+// so this path must not build combined slices.
+func (t *Table) Audit() error {
+	for _, src := range t.locks {
+		for _, l := range src() {
+			if err := l.Audit(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, src := range t.gates {
+		for _, g := range src() {
+			if err := g.Audit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot encodes every lock and gate, in registration order.
+func (t *Table) Snapshot(enc *snap.Encoder) {
+	for _, l := range t.Locks() {
+		l.Snapshot(enc)
+	}
+	for _, g := range t.Gates() {
+		g.Snapshot(enc)
+	}
+}
+
+// String renders the table as the fixed-width report pisosim prints:
+// one row per lock with traffic, contention, and undiluted stall
+// stats. Locks with no traffic are elided.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %10s %10s %14s %10s\n",
+		"lock", "mode", "acq", "contended", "stall/cont", "mean qlen")
+	for _, l := range t.Locks() {
+		if l.Acquisitions == 0 && l.QueueLen() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %6s %10d %10d %14s %10.3f\n",
+			l.Name(), l.Mode(), l.Acquisitions, l.Contended,
+			l.MeanContendedWait(), l.MeanQueueLen())
+	}
+	for _, g := range t.Gates() {
+		if g.Acquisitions == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %6s %10d %10d %14s %10s\n",
+			g.Name(), "gate", g.Acquisitions, g.Contended,
+			g.MeanContendedWait(), "-")
+	}
+	return b.String()
+}

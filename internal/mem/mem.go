@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/lock"
 	"perfiso/internal/metrics"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
@@ -156,6 +157,14 @@ type Manager struct {
 	// auditor can check frame conservation at every sharing boundary.
 	// The hook must only read manager state.
 	AuditHook func(reason string)
+
+	// FrameLock, when non-nil, is the accounting-only model of the
+	// frame-pool lock a real kernel takes around allocation and free:
+	// one shared gate is the coarse global free-list lock, per-SPU
+	// gates model per-SPU pools. It records serialization (and
+	// cross-SPU lock theft, under a shared gate) without perturbing
+	// timing. Nil costs one branch per pool operation.
+	FrameLock *lock.GateSet
 }
 
 // NewManager creates a memory manager with the given number of page
@@ -238,6 +247,7 @@ func (m *Manager) DivideAmongSPUs() {
 // the SPU is at its allowed limit or the machine is out of frames; in
 // that case the caller should use Request to wait.
 func (m *Manager) Allocate(spu core.SPUID, kind Kind, owner Owner) *Page {
+	m.FrameLock.Acquire(spu)
 	s := m.spus.Get(spu)
 	if kind == Kernel {
 		s = m.spus.Kernel()
@@ -292,6 +302,7 @@ func (m *Manager) Free(p *Page) {
 	if p.index < 0 {
 		panic("mem: double free")
 	}
+	m.FrameLock.Acquire(p.SPU)
 	m.unlink(p)
 	m.spus.Get(p.SPU).Charge(core.Memory, -1)
 	m.Stat.FreePages.Set(m.eng.Now(), float64(m.FreePages()))

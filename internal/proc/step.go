@@ -97,7 +97,7 @@ func (s Meta) run(p *Process) {
 type Lookup struct{}
 
 func (s Lookup) run(p *Process) {
-	p.prof.To(profile.StateSync, p.SPU)
+	p.prof.To(profile.StateLockWait, p.SPU)
 	p.env.FS().Lookup(p.SPU, p.nextFn)
 }
 

@@ -45,7 +45,8 @@ const (
 	StateBackoff                  // retry backoff after a failed transfer
 	StateSwap                     // swap-in of an evicted working set
 	StateSleep                    // voluntary sleep
-	StateSync                     // barrier, wait-for-children, lookup lock
+	StateSync                     // barrier, wait-for-children
+	StateLockWait                 // queued on (or holding) a kernel lock
 	NumStates
 )
 
@@ -74,6 +75,8 @@ func (s State) String() string {
 		return "sleep"
 	case StateSync:
 		return "sync"
+	case StateLockWait:
+		return "lockwait"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -87,6 +90,12 @@ const (
 	CPU Resource = iota
 	Memory
 	Disk
+	// Lock is kernel-lock serialization: time a victim queued behind
+	// another SPU's lock hold (§3.4's inode semaphore, generalized by
+	// internal/lock). A fourth first-class column of the matrix
+	// because locks leak interference even when CPU, memory, and disk
+	// are all perfectly partitioned.
+	Lock
 	None
 	NumResources
 )
@@ -100,6 +109,8 @@ func (r Resource) String() string {
 		return "memory"
 	case Disk:
 		return "disk"
+	case Lock:
+		return "lock"
 	default:
 		return "none"
 	}
@@ -115,6 +126,8 @@ func (s State) Resource() Resource {
 		return Memory
 	case StateDiskWait, StateDiskQueue, StateDiskService, StateBackoff, StateSwap:
 		return Disk
+	case StateLockWait:
+		return Lock
 	default:
 		return None
 	}

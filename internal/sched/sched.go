@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfiso/internal/core"
+	"perfiso/internal/lock"
 	"perfiso/internal/metrics"
 	"perfiso/internal/profile"
 	"perfiso/internal/sim"
@@ -121,6 +122,15 @@ type Scheduler struct {
 	// only read scheduler state.
 	AuditHook func(reason string)
 
+	// RunqLock, when non-nil, is the accounting-only model of the lock
+	// a real kernel takes around run-queue manipulation: one shared
+	// gate is the coarse SMP global-queue lock, per-SPU gates are the
+	// isolating per-SPU queues this scheduler actually implements. It
+	// records the serialization (and cross-SPU lock theft, under a
+	// shared gate) without perturbing dispatch timing. Nil costs one
+	// branch per queue operation.
+	RunqLock *lock.GateSet
+
 	gangs []*Gang
 
 	// lendPrefs restricts which SPUs an owner lends idle CPUs to (§3.1:
@@ -181,6 +191,7 @@ func (s *Scheduler) rq(id core.SPUID) []*Thread {
 // pushRunq appends a runnable thread to its SPU's queue, growing the
 // dense queue table on first sight of a new SPU ID.
 func (s *Scheduler) pushRunq(t *Thread) {
+	s.RunqLock.Acquire(t.SPU)
 	for int(t.SPU) >= len(s.runq) {
 		s.runq = append(s.runq, nil)
 	}
@@ -475,6 +486,7 @@ func (s *Scheduler) Exit(t *Thread) {
 }
 
 func (s *Scheduler) removeFromQueue(t *Thread) {
+	s.RunqLock.Acquire(t.SPU)
 	q := s.rq(t.SPU)
 	for i, x := range q {
 		if x == t {

@@ -241,6 +241,31 @@ func ComputeBound(k *kernel.Kernel, spu core.SPUID, name string, p ComputeParams
 	return proc.New(k, spu, name, body)
 }
 
+// LookupParams shapes a metadata-bound process: a tight loop of
+// pathname lookups separated by short compute bursts, with no file IO
+// at all. It is the workload that hammers the inode semaphore (§3.4)
+// without touching the page cache or the disks, so any cross-SPU
+// interference it shows is lock interference and nothing else.
+type LookupParams struct {
+	// Lookups is the number of pathname lookups the process performs.
+	Lookups int
+	// Think is the CPU burst between lookups.
+	Think sim.Time
+}
+
+// DefaultLookupLoop returns the shape the lock-leak experiment uses:
+// enough lookups against a 30 ms hold to saturate a shared mutex while
+// leaving a private lock idle.
+func DefaultLookupLoop() LookupParams {
+	return LookupParams{Lookups: 40, Think: 20 * sim.Millisecond}
+}
+
+// LookupLoop builds one metadata-bound process for the SPU.
+func LookupLoop(k *kernel.Kernel, spu core.SPUID, name string, p LookupParams) *proc.Process {
+	return proc.New(k, spu, name, proc.Loop(p.Lookups,
+		proc.Lookup{}, proc.Compute{D: p.Think}))
+}
+
 // MemPmake returns the pmake shape used by the memory-isolation
 // workload: four parallel compiles per job with working sets sized so
 // one job fits an SPU's half of the 16 MB machine but two jobs thrash.
