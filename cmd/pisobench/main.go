@@ -15,8 +15,9 @@
 //
 // Usage:
 //
-//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-eventq calendar|heap]
+//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-latency PATH] [-eventq calendar|heap]
 //	pisobench -perf [-perf-scenarios IDS] [-perf-reps N] [-perf-baseline PATH] [-perf-gate FRAC] [-json PATH]
+//	pisobench -diff OLD.json NEW.json
 //	pisobench -soak [-soak-runs N] [-soak-seed S] [-soak-case K] [-soak-faults SPEC]
 //	pisobench -list
 package main
@@ -50,7 +51,10 @@ type config struct {
 	jsonPath    string
 	metricsPath string
 	profilePath string
+	latencyPath string
 	eventq      string
+	diff        bool
+	diffArgs    []string
 	perf        bool
 	perfReps    int
 	perfOnly    string
@@ -74,6 +78,8 @@ func main() {
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable benchmark report to this path")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
 	flag.StringVar(&cfg.profilePath, "profile", "", "write the per-experiment attribution artifact (JSONL: latency breakdowns, interference matrix, spans) to this path")
+	flag.StringVar(&cfg.latencyPath, "latency", "", "write the per-experiment tail-latency artifact (JSONL: percentiles, SLO attainment, window timelines) to this path")
+	flag.BoolVar(&cfg.diff, "diff", false, "compare two pisobench JSON reports (bench or perf): pisobench -diff old.json new.json")
 	flag.StringVar(&cfg.eventq, "eventq", "", "event queue implementation: calendar (default) or heap")
 	flag.BoolVar(&cfg.perf, "perf", false, "run the perf baseline instead of printing tables (BENCH_perf.json via -json)")
 	flag.IntVar(&cfg.perfReps, "perf-reps", 3, "perf: repetitions per scenario; fastest rep is reported")
@@ -86,6 +92,7 @@ func main() {
 	flag.IntVar(&cfg.soakCase, "soak-case", -1, "soak: replay a single case index instead of sweeping")
 	flag.StringVar(&cfg.soakFaults, "soak-faults", "", "soak: override the replayed case's fault schedule (repro spec)")
 	flag.Parse()
+	cfg.diffArgs = flag.Args()
 	os.Exit(run(cfg, os.Stdout, os.Stderr))
 }
 
@@ -173,6 +180,33 @@ func runPerf(cfg config, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runDiff dispatches the -diff mode: compare two pisobench JSON
+// reports (evaluation or perf — the kind is sniffed from the files)
+// and print what moved. Report-only: any readable pair exits 0.
+func runDiff(cfg config, stdout, stderr io.Writer) int {
+	if len(cfg.diffArgs) != 2 {
+		fmt.Fprintln(stderr, "usage: pisobench -diff OLD.json NEW.json")
+		return 2
+	}
+	oldData, err := os.ReadFile(cfg.diffArgs[0])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	newData, err := os.ReadFile(cfg.diffArgs[1])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	out, err := experiment.Diff(oldData, newData, cfg.diffArgs[0], cfg.diffArgs[1])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintln(stdout, out)
+	return 0
+}
+
 // run executes one pisobench invocation, writing tables to stdout and
 // diagnostics to stderr, and returns the process exit code.
 func run(cfg config, stdout, stderr io.Writer) int {
@@ -196,6 +230,9 @@ func run(cfg config, stdout, stderr io.Writer) int {
 	}
 	if cfg.perf {
 		return runPerf(cfg, stdout, stderr)
+	}
+	if cfg.diff {
+		return runDiff(cfg, stdout, stderr)
 	}
 	if cfg.compare {
 		show(experiment.RunComparison().Table())
@@ -286,6 +323,17 @@ func run(cfg config, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if err := os.WriteFile(cfg.profilePath, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.latencyPath != "" {
+		var buf strings.Builder
+		if err := experiment.LatencyJSONL(results, &buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.latencyPath, []byte(buf.String()), 0o644); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

@@ -148,3 +148,79 @@ func TestRunOnlyAliasPrintsOneSection(t *testing.T) {
 		t.Fatal("-only fig3 missing the Figure 3 table")
 	}
 }
+
+// -only open-arrival with -latency and -json: the latency artifact and
+// the bench report's embedded latency summaries both materialize.
+func TestRunOpenArrivalWritesLatencyArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the open-arrival experiment")
+	}
+	dir := t.TempDir()
+	latPath := filepath.Join(dir, "latency.jsonl")
+	jsonPath := filepath.Join(dir, "bench.json")
+	var out, errOut strings.Builder
+	cfg := config{only: "open-arrival", parallel: 1, latencyPath: latPath, jsonPath: jsonPath}
+	if code := run(cfg, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "open-arrival tail latency") {
+		t.Fatalf("stdout missing the tenant table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(latPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"latency"`, `"type":"slo"`, `"type":"latency_window"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("latency artifact missing %s lines", want)
+		}
+	}
+	var b experiment.Bench
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Experiments) != 1 || len(b.Experiments[0].Latency) != 6 {
+		t.Fatalf("bench report latency summaries: %+v", b.Experiments)
+	}
+}
+
+// -diff on two bench reports prints the comparison and exits 0; bad
+// usage and unreadable files exit 2.
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	write := func(path string, b experiment.Bench) {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, experiment.Bench{Suite: "pisobench", Experiments: []experiment.BenchExperiment{{ID: "fig2", Events: 10}}})
+	write(newPath, experiment.Bench{Suite: "pisobench", Experiments: []experiment.BenchExperiment{{ID: "fig2", Events: 12}}})
+
+	var out, errOut strings.Builder
+	cfg := config{diff: true, diffArgs: []string{oldPath, newPath}}
+	if code := run(cfg, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "events changed: fig2 dispatched 10 -> 12") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(config{diff: true, diffArgs: []string{oldPath}}, &out, &errOut); code != 2 {
+		t.Fatalf("one-arg -diff: exit %d, want 2", code)
+	}
+	if code := run(config{diff: true, diffArgs: []string{oldPath, filepath.Join(dir, "absent.json")}}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file -diff: exit %d, want 2", code)
+	}
+}

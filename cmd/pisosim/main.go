@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	pisosim -workload pmake8|cpu|mem|disk -scheme SMP|Quo|PIso [-disksched Pos|Iso|PIso]
+//	pisosim -workload pmake8|cpu|mem|disk|tenants -scheme SMP|Quo|PIso [-disksched Pos|Iso|PIso]
+//	pisosim -workload tenants -latency latency.jsonl   # per-tenant tail latency + SLO artifact
 //	pisosim -faults disk-fail:0:1s:2s:0.3,cpu-off:1:500ms:0s   # inject deterministic faults
 //	pisosim -spec scenario.json          # declarative scenario, JSON result
 package main
@@ -41,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceSPU := fs.Int("trace-spu", -1, "restrict -trace output to events concerning this SPU id")
 	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
 	metricsPath := fs.String("metrics", "", "write per-SPU metrics as JSONL to this file")
+	latencyPath := fs.String("latency", "", "write per-tenant tail-latency summaries, SLO attainment, and window timelines as JSONL to this file")
 	chromePath := fs.String("chrometrace", "", "write a Chrome trace-event file (open in Perfetto or chrome://tracing)")
 	profilePath := fs.String("profile", "", "write the simulated-time profile as gzipped pprof protobuf to this file")
 	spansPath := fs.String("spans", "", "write per-request span trees as JSONL to this file")
@@ -99,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metricsPath != "" || *chromePath != "" {
 		opts.MetricsPeriod = 100 * perfiso.Millisecond
 	}
+	if *latencyPath != "" {
+		opts.LatencyWindow = 500 * perfiso.Millisecond
+	}
 	if *profilePath != "" || *spansPath != "" {
 		opts.Profiled = true
 	}
@@ -121,6 +126,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "disk: mean wait %.1fms, mean positioning %.2fms\n", wait*1000, pos*1000)
 	}
 	report(sys, stdout, kinds, spuFilter)
+	if *latencyPath != "" {
+		if err := writeExport(*latencyPath, sys.WriteLatency); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nlatency written to %s\n", *latencyPath)
+	}
 	if *metricsPath != "" {
 		if err := writeExport(*metricsPath, sys.WriteMetrics); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -197,6 +209,9 @@ func report(sys *perfiso.System, w io.Writer, kinds []trace.Kind, spu string) {
 		fmt.Fprintf(w, "\nper-SPU usage over time (CPUs / MB):\n%s", tl.Render(64))
 	}
 	if tbl := sys.Kernel().UsageTable(); tbl != nil {
+		fmt.Fprintf(w, "\n%s", tbl)
+	}
+	if tbl := sys.Kernel().LatencyTable(); tbl != nil {
 		fmt.Fprintf(w, "\n%s", tbl)
 	}
 	if p := sys.Kernel().Profile(); p != nil {

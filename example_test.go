@@ -37,8 +37,8 @@ func ExampleSystem_Server() {
 		Interarrival: 20 * perfiso.Millisecond,
 		Service:      3 * perfiso.Millisecond,
 	})
-	sys.Run()
-	fmt.Printf("p50: %s  max: %s\n", job.LatencyQuantile(0.5), job.MaxLatency())
+	end := sys.Run()
+	fmt.Printf("p50: %s  max: %s\n", job.LatencyQuantile(end, 0.5), job.MaxLatency(end))
 	// Output:
 	// p50: 3ms  max: 3ms
 }

@@ -25,9 +25,9 @@ func run(scheme perfiso.Scheme, ipi bool) (mean, max perfiso.Time) {
 			Total: 20 * perfiso.Second, Chunk: 100 * perfiso.Millisecond, WSSPages: 50,
 		})
 	}
-	sys.Run()
-	lat := svc.Latencies()
-	return perfiso.Time(lat.Mean() * float64(perfiso.Second)), svc.MaxLatency()
+	end := sys.Run()
+	lat := svc.Latencies(end)
+	return perfiso.Time(lat.Mean() * float64(perfiso.Second)), svc.MaxLatency(end)
 }
 
 func main() {

@@ -70,18 +70,22 @@ type ServerLatencyResult struct {
 	Rows []ServerLatencyRow
 }
 
-// ServerLatencyRow is one configuration's latency profile.
+// ServerLatencyRow is one configuration's latency profile. Completed
+// and Censored make the sample's coverage explicit: a config that
+// strands requests in flight past the run's end cannot hide them.
 type ServerLatencyRow struct {
-	Config string
-	Mean   sim.Time
-	Max    sim.Time
+	Config    string
+	Mean      sim.Time
+	Max       sim.Time
+	Completed int
+	Censored  int
 }
 
 // RunServerLatency measures the service's request latencies under SMP,
 // Quo, PIso with tick revocation, and PIso with IPI revocation.
 func RunServerLatency() ServerLatencyResult {
 	var res ServerLatencyResult
-	run := func(scheme core.Scheme, ipi bool) (sim.Time, sim.Time) {
+	run := func(scheme core.Scheme, ipi bool) ServerLatencyRow {
 		k := kernel.New(machine.CPUIsolation(), scheme, kernel.Options{IPIRevoke: ipi, Profiled: true})
 		svc := k.NewSPU("service", 1)
 		batch := k.NewSPU("batch", 1)
@@ -92,10 +96,13 @@ func RunServerLatency() ServerLatencyResult {
 			k.Spawn(workload.ComputeBound(k, batch.ID(), fmt.Sprintf("b%d", i),
 				workload.ComputeParams{Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 50}))
 		}
-		k.Run()
+		end := k.Run()
 		res.observe(k, fmt.Sprintf("%s/ipi=%t", scheme, ipi))
-		lat := job.Latencies()
-		return sim.FromSeconds(lat.Mean()), job.MaxLatency()
+		lat := job.Latencies(end)
+		return ServerLatencyRow{
+			Mean: sim.FromSeconds(lat.Mean()), Max: job.MaxLatency(end),
+			Completed: job.Completed(), Censored: job.InFlight(),
+		}
 	}
 	configs := []struct {
 		name   string
@@ -108,8 +115,9 @@ func RunServerLatency() ServerLatencyResult {
 		{"PIso-IPI", core.PIso, true},
 	}
 	for _, c := range configs {
-		mean, max := run(c.scheme, c.ipi)
-		res.Rows = append(res.Rows, ServerLatencyRow{Config: c.name, Mean: mean, Max: max})
+		row := run(c.scheme, c.ipi)
+		row.Config = c.name
+		res.Rows = append(res.Rows, row)
 	}
 	return res
 }
@@ -128,9 +136,10 @@ func (r ServerLatencyResult) Row(name string) *ServerLatencyRow {
 func (r ServerLatencyResult) Table() *stats.Table {
 	t := stats.NewTable(
 		"Extension: interactive response-time isolation (2 ms requests vs 16 batch hogs)",
-		"Config", "Mean latency (ms)", "Max latency (ms)")
+		"Config", "Mean latency (ms)", "Max latency (ms)", "Completed", "Censored")
 	for _, row := range r.Rows {
-		t.Addf(row.Config, row.Mean.Milliseconds(), row.Max.Milliseconds())
+		t.Addf(row.Config, row.Mean.Milliseconds(), row.Max.Milliseconds(),
+			row.Completed, row.Censored)
 	}
 	return t
 }

@@ -18,6 +18,9 @@ type Meter struct {
 	// Attribution carries one profiler summary per kernel that ran
 	// with profiling on, in run order (see Meter.observe).
 	Attribution []AttributionSummary
+	// Latency carries one tail-latency summary per kernel that ran
+	// with latency tracking on, in run order (see Meter.observe).
+	Latency []LatencySummary
 }
 
 // count folds a finished kernel's engine dispatch total into the meter.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 
 	"perfiso/internal/kernel"
+	"perfiso/internal/latency"
 	"perfiso/internal/metrics"
 	"perfiso/internal/stats"
 )
@@ -58,12 +60,28 @@ func summarizeMetrics(k *kernel.Kernel, config string) (MetricSummary, bool) {
 		}
 	}
 	var lat []float64
+	var spill *latency.Histogram
 	for _, d := range reg.Distributions() {
-		if d.Name == metrics.KeySchedRevokeLatency {
-			lat = append(lat, d.Values()...)
+		if d.Name != metrics.KeySchedRevokeLatency {
+			continue
 		}
+		if d.Exact() {
+			lat = append(lat, d.Values()...)
+			continue
+		}
+		if spill == nil {
+			spill = latency.New()
+		}
+		spill.Merge(d.Hist())
 	}
-	if len(lat) > 0 {
+	if spill != nil {
+		// At least one distribution overflowed its exact cap: fold the
+		// exact remainder into the bucketed view and answer from there.
+		for _, v := range lat {
+			spill.Record(int64(math.Round(v * metrics.DistScale)))
+		}
+		s.RevocationP99Ms = float64(spill.Quantile(0.99)) / metrics.DistScale * 1e3
+	} else if len(lat) > 0 {
 		s.RevocationP99Ms = stats.Quantile(lat, 0.99) * 1e3
 	}
 	var total float64
@@ -137,5 +155,8 @@ func (m *Meter) observe(k *kernel.Kernel, config string) {
 	}
 	if s, ok := summarizeAttribution(k, config); ok {
 		m.Attribution = append(m.Attribution, s)
+	}
+	if s, ok := summarizeLatency(k, config); ok {
+		m.Latency = append(m.Latency, s)
 	}
 }

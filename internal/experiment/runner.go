@@ -40,6 +40,10 @@ type Output struct {
 	// breakdown per process, cross-SPU interference matrix) for the
 	// experiments that run with the profiler on.
 	Attribution []AttributionSummary
+	// Latency holds per-configuration tail-latency summaries (per-tenant
+	// percentiles and SLO attainment) for the experiments that run with
+	// latency tracking on.
+	Latency []LatencySummary
 }
 
 // Rows flattens every section table into machine-readable headline rows
@@ -218,6 +222,21 @@ func Registry() []Spec {
 				return Output{Sections: []Section{{ID: "server-latency", Table: r.Table()}}, Events: r.Events, Attribution: r.Attribution}
 			},
 		},
+		{
+			ID: "open-arrival", Aliases: []string{"tenants"},
+			Title: "Extension: multi-tenant open-arrival tail latency", Ablation: true,
+			Run: func() Output {
+				r := RunOpenArrival()
+				return Output{
+					Sections: []Section{
+						{ID: "open-arrival", Table: r.Table()},
+						{ID: "open-arrival-breakdown", Table: r.BreakdownTable()},
+					},
+					Events: r.Events, Metrics: r.Metrics,
+					Attribution: r.Attribution, Latency: r.Latency,
+				}
+			},
+		},
 	}
 }
 
@@ -348,6 +367,10 @@ type BenchExperiment struct {
 	// (per-process latency breakdown, interference matrix) for
 	// profiled experiments.
 	Attribution []AttributionSummary `json:"attribution,omitempty"`
+	// Latency embeds the per-configuration tail-latency summaries
+	// (per-tenant percentile ladders and SLO attainment) for the
+	// experiments that run with latency tracking on.
+	Latency []LatencySummary `json:"latency,omitempty"`
 	// Error is set when the experiment panicked instead of finishing.
 	Error string `json:"error,omitempty"`
 }
@@ -369,6 +392,7 @@ func BenchReport(results []Result, parallel int, short bool, wall time.Duration)
 			Rows:        r.Output.Rows(),
 			Metrics:     r.Output.Metrics,
 			Attribution: r.Output.Attribution,
+			Latency:     r.Output.Latency,
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(e.Events) / s

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"testing"
+
+	"perfiso/internal/sim"
+)
+
+// The headline isolation claim: with noise hogs saturating their SPU,
+// every tenant's p99 under PIso stays within the stated tolerance of
+// its solo baseline, while under SMP at least the worst tenant blows
+// through it.
+func TestOpenArrivalIsolation(t *testing.T) {
+	r := RunOpenArrival()
+	bound := func(solo sim.Time) sim.Time {
+		return sim.Time(OpenArrivalTolerance*float64(solo)) + OpenArrivalSlack
+	}
+	seen := 0
+	for _, row := range r.Rows {
+		if row.Config != "solo" {
+			continue
+		}
+		seen++
+		piso := r.Row("PIso", row.Tenant)
+		if piso == nil {
+			t.Fatalf("no PIso row for tenant %q", row.Tenant)
+		}
+		if piso.P99 > bound(row.P99) {
+			t.Errorf("tenant %q: PIso p99 %v exceeds %.1fx solo (%v) + %v slack",
+				row.Tenant, piso.P99, OpenArrivalTolerance, row.P99, OpenArrivalSlack)
+		}
+		if smp := r.Row("SMP", row.Tenant); smp == nil {
+			t.Fatalf("no SMP row for tenant %q", row.Tenant)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no solo baselines ran")
+	}
+	worst := r.Row("SMP", r.Worst)
+	if worst == nil {
+		t.Fatalf("no SMP row for worst tenant %q", r.Worst)
+	}
+	soloWorst := r.Row("solo", r.Worst)
+	if worst.P99 <= bound(soloWorst.P99) {
+		t.Errorf("SMP should break isolation for the worst tenant %q: p99 %v within bound of solo %v",
+			r.Worst, worst.P99, soloWorst.P99)
+	}
+	if len(r.Breakdown) == 0 {
+		t.Error("no interference attributed to the worst tenant under SMP")
+	}
+	t.Logf("worst tenant %q, SMP p99 ratio %.2fx", r.Worst, r.WorstRatio)
+	t.Log("\n" + r.Table().Markdown())
+	t.Log("\n" + r.BreakdownTable().Markdown())
+}
+
+// Both rendered sections carry every expected row.
+func TestOpenArrivalTables(t *testing.T) {
+	r := RunOpenArrival()
+	if got := len(r.Rows); got != 12 { // 4 solo + 4 SMP + 4 PIso
+		t.Fatalf("rows = %d, want 12", got)
+	}
+	if rows := r.BreakdownTable().NumericRows(); len(rows) != 4 {
+		t.Fatalf("breakdown rows = %d, want one per resource", len(rows))
+	}
+	if len(r.Latency) != 6 { // 4 solo + SMP + PIso
+		t.Fatalf("latency summaries = %d, want 6", len(r.Latency))
+	}
+}

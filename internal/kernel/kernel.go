@@ -14,6 +14,7 @@ import (
 	"perfiso/internal/fault"
 	"perfiso/internal/fs"
 	"perfiso/internal/invariant"
+	"perfiso/internal/latency"
 	"perfiso/internal/lock"
 	"perfiso/internal/machine"
 	"perfiso/internal/mem"
@@ -99,6 +100,13 @@ type Options struct {
 	// per SPU) are sampled at this period on the simulation clock and
 	// exportable as JSONL or a Chrome trace (see internal/metrics).
 	MetricsPeriod sim.Time
+	// LatencyWindow, when positive, turns on per-tenant tail-latency
+	// tracking (internal/latency): workloads register request streams with
+	// the kernel's latency registry and record each completed request into
+	// an HDR-style histogram plus a percentile timeline with windows of
+	// this width on the simulation clock. Exportable as JSONL, a summary
+	// table, and Chrome-trace percentile counter tracks.
+	LatencyWindow sim.Time
 	// Profiled turns on the simulated-time profiler (internal/profile):
 	// every thread's simulated nanoseconds are accounted to per-SPU
 	// (resource, state) buckets, per-request span trees are recorded, and
@@ -181,6 +189,7 @@ type Kernel struct {
 	timeline *stats.Timeline
 	injector *fault.Injector
 	metrics  *metrics.Registry
+	latreg   *latency.Registry
 	profiler *profile.Profiler
 	auditor  *invariant.Auditor
 	watchdog *invariant.Watchdog
@@ -251,6 +260,9 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 		k.sch.Metrics = k.metrics
 		k.mm.Metrics = k.metrics
 		k.fsys.Metrics = k.metrics
+	}
+	if opts.LatencyWindow > 0 {
+		k.latreg = latency.NewRegistry(opts.LatencyWindow)
 	}
 	if opts.Profiled {
 		k.profiler = profile.New(eng, opts.ProfileSpanCapacity)
@@ -495,6 +507,80 @@ func (k *Kernel) registerSeries() {
 // Metrics returns the metrics registry, or nil when observability is off.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 
+// Latency returns the latency registry, or nil when latency tracking is
+// off (Options.LatencyWindow). Workloads register streams against it
+// unconditionally — a nil registry hands out nil no-op trackers.
+func (k *Kernel) Latency() *latency.Registry { return k.latreg }
+
+// WriteLatency writes every latency tracker (summary, SLO, and window
+// timeline lines) as deterministic JSONL. An error when latency
+// tracking is off.
+func (k *Kernel) WriteLatency(w io.Writer) error {
+	if k.latreg == nil {
+		return fmt.Errorf("kernel: latency tracking is off (Options.LatencyWindow)")
+	}
+	return k.latreg.WriteJSONL(w)
+}
+
+// LatencyTable summarizes every latency stream: request counts
+// (censored in-flight requests called out separately), tail
+// percentiles, and SLO attainment. Nil when latency tracking is off or
+// nothing was recorded.
+func (k *Kernel) LatencyTable() *stats.Table {
+	if k.latreg == nil || k.latreg.Empty() {
+		return nil
+	}
+	t := stats.NewTable("Per-tenant latency",
+		"Tenant", "Requests", "Censored", "p50 (ms)", "p99 (ms)", "p999 (ms)", "Max (ms)", "SLO", "Attain (%)")
+	ms := func(ns int64) float64 { return float64(ns) / float64(sim.Millisecond) }
+	for _, tr := range k.latreg.Trackers() {
+		h := tr.Total()
+		if h.Count() == 0 {
+			continue
+		}
+		slo, attain := "-", "-"
+		if tr.Obj.Valid() {
+			slo = fmt.Sprintf("%.0f%%<%.0fms", tr.Obj.Target*100, ms(int64(tr.Obj.Threshold)))
+			attain = fmt.Sprintf("%.2f", tr.Attainment())
+		}
+		t.Addf(tr.Name, h.Count(), tr.Censored(),
+			ms(h.Quantile(0.50)), ms(h.Quantile(0.99)), ms(h.Quantile(0.999)),
+			ms(h.Max()), slo, attain)
+	}
+	return t
+}
+
+// latencyTracks converts each tracker's window timeline into Chrome
+// counter tracks (p50/p99/p999 in ms, one point per non-empty window at
+// the window's end), so tail behaviour lines up with the usage series
+// and profiler spans on the SPU's track.
+func (k *Kernel) latencyTracks() []metrics.CounterTrack {
+	if k.latreg == nil {
+		return nil
+	}
+	var out []metrics.CounterTrack
+	for _, tr := range k.latreg.Trackers() {
+		ws := tr.Windows()
+		if len(ws) == 0 {
+			continue
+		}
+		mk := func(q string, pick func(latency.WindowStat) int64) metrics.CounterTrack {
+			t := metrics.CounterTrack{Name: tr.Name + " " + q + " (ms)", SPU: tr.SPU}
+			for _, w := range ws {
+				t.TS = append(t.TS, w.End)
+				t.VS = append(t.VS, float64(pick(w))/float64(sim.Millisecond))
+			}
+			return t
+		}
+		out = append(out,
+			mk("p50", func(w latency.WindowStat) int64 { return w.P50 }),
+			mk("p99", func(w latency.WindowStat) int64 { return w.P99 }),
+			mk("p999", func(w latency.WindowStat) int64 { return w.P999 }),
+		)
+	}
+	return out
+}
+
 // Profile implements proc.Env: it returns the simulated-time profiler,
 // or nil when profiling is off. Processes started on this kernel (and
 // their forked children) register their threads with it.
@@ -520,7 +606,7 @@ func (k *Kernel) WriteMetrics(w io.Writer) error {
 // per SPU from the sampled series, plus the decision tracer's events as
 // instant markers when tracing is on. A no-op when observability is off.
 func (k *Kernel) WriteChromeTrace(w io.Writer) error {
-	return k.metrics.WriteChromeTraceWithSpans(w, k.tracer.Events(), k.MetricNames(), k.profileSpanEvents())
+	return k.metrics.WriteChromeTraceFull(w, k.tracer.Events(), k.MetricNames(), k.profileSpanEvents(), k.latencyTracks())
 }
 
 // WriteProfile writes the profiler's buckets and interference matrix as

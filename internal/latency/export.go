@@ -1,0 +1,109 @@
+package latency
+
+import (
+	"encoding/json"
+	"io"
+
+	"perfiso/internal/sim"
+)
+
+// JSONL line shapes. One struct per line type keeps the field order —
+// and therefore the bytes — fixed. Every value is either an integer
+// nanosecond count or a ratio of deterministic integers, and no
+// wall-clock value appears, so the same run always exports the same
+// bytes at any harness parallelism and on either event-queue
+// implementation.
+type latencyLine struct {
+	Type     string `json:"type"`
+	Name     string `json:"name"`
+	SPU      int    `json:"spu"`
+	Count    int64  `json:"count"`
+	Censored int64  `json:"censored"`
+	MinNS    int64  `json:"min_ns"`
+	MeanNS   int64  `json:"mean_ns"`
+	P50NS    int64  `json:"p50_ns"`
+	P90NS    int64  `json:"p90_ns"`
+	P99NS    int64  `json:"p99_ns"`
+	P999NS   int64  `json:"p999_ns"`
+	MaxNS    int64  `json:"max_ns"`
+}
+
+type sloLine struct {
+	Type        string  `json:"type"`
+	Name        string  `json:"name"`
+	SPU         int     `json:"spu"`
+	ThresholdNS int64   `json:"threshold_ns"`
+	Target      float64 `json:"target"`
+	Good        int64   `json:"good"`
+	Attainment  float64 `json:"attainment"`
+	BudgetBurn  float64 `json:"budget_burn"`
+}
+
+type windowLine struct {
+	Type       string  `json:"type"`
+	Name       string  `json:"name"`
+	SPU        int     `json:"spu"`
+	Window     int     `json:"window"`
+	StartMS    float64 `json:"start_ms"`
+	EndMS      float64 `json:"end_ms"`
+	Count      int64   `json:"count"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	P999NS     int64   `json:"p999_ns"`
+	Good       int64   `json:"good"`
+	Attainment float64 `json:"attainment"`
+	BurnRate   float64 `json:"burn"`
+}
+
+// WriteJSONL writes every tracker as deterministic JSONL: one
+// "latency" summary line, an "slo" line when the tracker has an
+// objective, then one "latency_window" line per non-empty timeline
+// window. Trackers appear in registration order. A no-op on a nil
+// registry.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, t := range r.trackers {
+		h := t.total
+		if err := enc.Encode(latencyLine{
+			Type: "latency", Name: t.Name, SPU: int(t.SPU),
+			Count: h.Count(), Censored: t.censored,
+			MinNS: h.Min(), MeanNS: h.Mean(),
+			P50NS: h.Quantile(0.50), P90NS: h.Quantile(0.90),
+			P99NS: h.Quantile(0.99), P999NS: h.Quantile(0.999),
+			MaxNS: h.Max(),
+		}); err != nil {
+			return err
+		}
+		if t.Obj.Valid() {
+			line := sloLine{
+				Type: "slo", Name: t.Name, SPU: int(t.SPU),
+				ThresholdNS: int64(t.Obj.Threshold), Target: t.Obj.Target,
+				Good: t.good, Attainment: t.Attainment(),
+			}
+			if n := h.Count(); n > 0 {
+				bad := float64(n-t.good) / float64(n)
+				line.BudgetBurn = bad / (1 - t.Obj.Target)
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		for _, ws := range t.Windows() {
+			if err := enc.Encode(windowLine{
+				Type: "latency_window", Name: t.Name, SPU: int(t.SPU),
+				Window:  ws.Index,
+				StartMS: float64(ws.Start) / float64(sim.Millisecond),
+				EndMS:   float64(ws.End) / float64(sim.Millisecond),
+				Count:   ws.Count,
+				P50NS:   ws.P50, P99NS: ws.P99, P999NS: ws.P999,
+				Good: ws.Good, Attainment: ws.Attainment, BurnRate: ws.BurnRate,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

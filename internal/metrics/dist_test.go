@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"perfiso/internal/sim"
+	"perfiso/internal/stats"
+)
+
+// Below ExactCap a Distribution behaves exactly as before: every value
+// retained, quantiles exact, and the JSONL line byte-identical to one
+// computed from the raw values.
+func TestDistributionExactBelowCap(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 0)
+	d := r.Distribution("d", NoSPU)
+	rng := sim.NewRNG(5)
+	var raw []float64
+	for i := 0; i < 1000; i++ {
+		v := float64(rng.Intn(1_000_000)) / 1e6
+		raw = append(raw, v)
+		d.Observe(v)
+	}
+	if !d.Exact() || d.Hist() != nil {
+		t.Fatal("1000 observations must stay exact")
+	}
+	if d.N() != 1000 || len(d.Values()) != 1000 {
+		t.Fatalf("N=%d len=%d", d.N(), len(d.Values()))
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if d.Quantile(q) != stats.Quantile(raw, q) {
+			t.Fatalf("Quantile(%v) diverged from the exact path", q)
+		}
+	}
+	var sum float64
+	for _, v := range raw {
+		sum += v
+	}
+	if d.Mean() != sum/1000 {
+		t.Fatal("mean diverged from summing in arrival order")
+	}
+}
+
+// Past ExactCap the distribution spills into the bounded histogram:
+// memory stops growing, count/mean/extremes stay exact, and interior
+// quantiles stay within the histogram's relative-error bound.
+func TestDistributionSpillsPastCap(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 0)
+	d := r.Distribution("d", NoSPU)
+	rng := sim.NewRNG(17)
+	n := ExactCap * 3
+	raw := make([]float64, 0, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(1+rng.Intn(10_000_000)) / 1e6 // (0, 10] s
+		raw = append(raw, v)
+		sum += v
+		d.Observe(v)
+	}
+	if d.Exact() || d.Hist() == nil {
+		t.Fatal("distribution did not spill past the cap")
+	}
+	if d.Values() != nil {
+		t.Fatal("exact values must be released after the spill")
+	}
+	if d.N() != n {
+		t.Fatalf("N=%d, want %d", d.N(), n)
+	}
+	if got := d.Mean(); math.Abs(got-sum/float64(n)) > 1e-12 {
+		t.Fatalf("mean %v, want exact %v", got, sum/float64(n))
+	}
+	if d.Quantile(0) != stats.Quantile(raw, 0) || d.Quantile(1) != stats.Quantile(raw, 1) {
+		t.Fatal("extremes must stay exact after the spill")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := stats.Quantile(raw, q)
+		got := d.Quantile(q)
+		// Bucket bound (1/128) plus slack for the quantile definition
+		// difference between "nearest rank" and index interpolation.
+		if math.Abs(got-exact) > exact/64+1e-6 {
+			t.Fatalf("Quantile(%v)=%v, exact %v: outside the bucket error bound", q, got, exact)
+		}
+	}
+}
+
+// An export carrying a spilled distribution still renders: finite
+// summary numbers, no NaN/Inf, and deterministic bytes.
+func TestDistributionSpillExportDeterministic(t *testing.T) {
+	render := func() string {
+		eng := sim.NewEngine()
+		r := New(eng, 0)
+		d := r.Distribution("lat", NoSPU)
+		rng := sim.NewRNG(3)
+		for i := 0; i < ExactCap+100; i++ {
+			d.Observe(float64(rng.Intn(1000)) / 1e3)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf, Names{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("spilled-distribution export not deterministic")
+	}
+	if bytes.Contains([]byte(a), []byte("null")) {
+		t.Fatalf("spilled export has null cells:\n%s", a)
+	}
+}

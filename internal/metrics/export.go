@@ -199,6 +199,18 @@ type chromeInstantArgs struct {
 	Detail  string `json:"detail,omitempty"`
 }
 
+// CounterTrack is a pre-sampled counter series handed to the
+// Chrome-trace exporter by an outside producer (the latency registry's
+// per-window percentiles). Like SpanEvent it is deliberately decoupled
+// from the producer's types. Points render on the SPU's process track
+// in the order given.
+type CounterTrack struct {
+	Name string
+	SPU  core.SPUID
+	TS   []sim.Time
+	VS   []float64
+}
+
 // SpanEvent is a timed interval handed to the Chrome-trace exporter by
 // an outside producer (the simulated-time profiler). It is deliberately
 // decoupled from that producer's types so metrics stays a leaf of the
@@ -274,6 +286,14 @@ func (r *Registry) WriteChromeTrace(w io.Writer, events []trace.Event, names Nam
 // are rendered in the order given, which for the profiler is simulation
 // order, so output stays byte-deterministic.
 func (r *Registry) WriteChromeTraceWithSpans(w io.Writer, events []trace.Event, names Names, spans []SpanEvent) error {
+	return r.WriteChromeTraceFull(w, events, names, spans, nil)
+}
+
+// WriteChromeTraceFull is the complete exporter: series counter
+// tracks, external counter tracks (per-window latency percentiles),
+// tracer instants, and profiler spans, in that fixed order so output
+// stays byte-deterministic.
+func (r *Registry) WriteChromeTraceFull(w io.Writer, events []trace.Event, names Names, spans []SpanEvent, tracks []CounterTrack) error {
 	if r == nil {
 		return nil
 	}
@@ -320,6 +340,22 @@ func (r *Registry) WriteChromeTraceWithSpans(w io.Writer, events []trace.Event, 
 			if err := emit(chromeCounter{
 				Name: s.Name, PH: "C", PID: pid(s.SPU),
 				TS: usec(s.ts[i]), Args: chromeCounterArgs{Value: s.vs[i]},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// External counter tracks (per-window latency percentiles) follow
+	// the registered series, in the order the producer handed them over.
+	for _, t := range tracks {
+		for i := range t.TS {
+			if i >= len(t.VS) || math.IsNaN(t.VS[i]) || math.IsInf(t.VS[i], 0) {
+				continue
+			}
+			if err := emit(chromeCounter{
+				Name: t.Name, PH: "C", PID: pid(t.SPU),
+				TS: usec(t.TS[i]), Args: chromeCounterArgs{Value: t.VS[i]},
 			}); err != nil {
 				return err
 			}

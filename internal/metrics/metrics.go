@@ -18,8 +18,9 @@
 //     Push-style: the instrumented site calls Add/Inc.
 //   - Gauge: an instantaneous value read lazily at export time (free
 //     pages, mean disk wait). Pull-style: registered with a closure.
-//   - Distribution: every observation kept, for exact quantiles
-//     (revocation latency p99).
+//   - Distribution: observations kept exactly up to ExactCap for exact
+//     quantiles (revocation latency p99), spilling into a bounded
+//     log-bucketed histogram beyond it.
 //   - Series: a closure sampled at a fixed period on the simulation
 //     clock, producing the paper's figure-style per-SPU timelines.
 //
@@ -29,7 +30,10 @@
 package metrics
 
 import (
+	"math"
+
 	"perfiso/internal/core"
+	"perfiso/internal/latency"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
 )
@@ -145,20 +149,62 @@ func (g *Gauge) Value() float64 {
 	return g.fn()
 }
 
-// Distribution keeps every observation for exact quantile queries. A nil
-// Distribution is a valid no-op sink.
+// ExactCap is the number of observations a Distribution keeps exactly.
+// Up to the cap, every value is retained and quantiles are exact — the
+// historical behaviour, byte-identical in every export. Past the cap
+// the distribution spills into a log-bucketed latency.Histogram whose
+// memory is fixed, so a long soak cannot grow a distribution without
+// bound; quantiles then carry the histogram's ≤1/128 relative error.
+const ExactCap = 4096
+
+// DistScale converts distribution units (seconds, for every current
+// registrant) to the histogram's integer domain: nanosecond fixed
+// point. Values below 1/DistScale collapse to bucket zero.
+const DistScale = 1e9
+
+// Distribution records a stream of observations for quantile queries:
+// exact up to ExactCap, histogram-bucketed beyond. A nil Distribution
+// is a valid no-op sink.
 type Distribution struct {
 	Name string
 	SPU  core.SPUID
 	vs   []float64
+	h    *latency.Histogram // non-nil once the cap was exceeded
+	n    int
+	sum  float64
+	min  float64
+	max  float64
 }
 
-// Observe records one value. Safe on nil.
+// Observe records one value. Safe on nil. Values must be non-negative
+// for bucketed quantiles to be meaningful (the histogram clamps
+// negatives to zero); every current registrant records durations.
 func (d *Distribution) Observe(v float64) {
 	if d == nil {
 		return
 	}
-	d.vs = append(d.vs, v)
+	d.n++
+	d.sum += v
+	if d.n == 1 || v > d.max {
+		d.max = v
+	}
+	if d.n == 1 || v < d.min {
+		d.min = v
+	}
+	if d.h == nil {
+		if len(d.vs) < ExactCap {
+			d.vs = append(d.vs, v)
+			return
+		}
+		// Cap crossed: spill the exact values into the bounded histogram
+		// and release them.
+		d.h = latency.New()
+		for _, u := range d.vs {
+			d.h.Record(int64(math.Round(u * DistScale)))
+		}
+		d.vs = nil
+	}
+	d.h.Record(int64(math.Round(v * DistScale)))
 }
 
 // ObserveTime records a duration in seconds.
@@ -169,20 +215,35 @@ func (d *Distribution) N() int {
 	if d == nil {
 		return 0
 	}
-	return len(d.vs)
+	return d.n
 }
+
+// Exact reports whether every observation is still held exactly (the
+// distribution never exceeded ExactCap).
+func (d *Distribution) Exact() bool { return d == nil || d.h == nil }
 
 // Quantile returns the q-quantile (0..1) of the observations, 0 when
-// empty or nil.
+// empty or nil. Exact below ExactCap; bucketed (≤1/128 relative error,
+// extremes exact) above.
 func (d *Distribution) Quantile(q float64) float64 {
-	if d == nil {
+	if d == nil || d.n == 0 {
 		return 0
 	}
-	return stats.Quantile(d.vs, q)
+	if d.h == nil {
+		return stats.Quantile(d.vs, q)
+	}
+	if q <= 0 {
+		return d.min
+	}
+	if q >= 1 {
+		return d.max
+	}
+	return float64(d.h.Quantile(q)) / DistScale
 }
 
-// Values returns the raw observations in arrival order. The slice is
-// shared with the distribution; callers must not mutate it.
+// Values returns the raw observations in arrival order, or nil once the
+// distribution exceeded ExactCap and dropped them (check Exact). The
+// slice is shared with the distribution; callers must not mutate it.
 func (d *Distribution) Values() []float64 {
 	if d == nil {
 		return nil
@@ -190,16 +251,23 @@ func (d *Distribution) Values() []float64 {
 	return d.vs
 }
 
-// Mean returns the arithmetic mean of the observations.
+// Hist returns the spill histogram (nanosecond fixed point), or nil
+// while the distribution is still exact.
+func (d *Distribution) Hist() *latency.Histogram {
+	if d == nil {
+		return nil
+	}
+	return d.h
+}
+
+// Mean returns the arithmetic mean of the observations. Always exact:
+// the running sum accumulates in arrival order, matching what summing
+// the retained values used to produce.
 func (d *Distribution) Mean() float64 {
-	if d == nil || len(d.vs) == 0 {
+	if d == nil || d.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range d.vs {
-		sum += v
-	}
-	return sum / float64(len(d.vs))
+	return d.sum / float64(d.n)
 }
 
 // Series is a per-SPU time series: a closure sampled on the simulation

@@ -278,7 +278,7 @@ func (s *Spec) Run() (*Result, error) {
 			RespSecs: rj.p.ResponseTime().Seconds(),
 		}
 		if rj.srv != nil {
-			jr.MaxLatencySecs = rj.srv.MaxLatency().Seconds()
+			jr.MaxLatencySecs = rj.srv.MaxLatency(end).Seconds()
 		}
 		res.Jobs = append(res.Jobs, jr)
 	}

@@ -1,0 +1,97 @@
+package stats
+
+import "testing"
+
+// Edge cases for the fixed-width histogram: empty, single sample,
+// extreme quantiles, and data falling outside the bucket range.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	if h.N() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: N=%d mean=%v", h.N(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v)=%v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(3.5)
+	if h.N() != 1 || h.Mean() != 3.5 {
+		t.Fatalf("N=%d mean=%v", h.N(), h.Mean())
+	}
+	// Every quantile answers the sample's bucket upper edge.
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := h.Quantile(q); got != 4 {
+			t.Fatalf("Quantile(%v)=%v, want the bucket edge 4", q, got)
+		}
+	}
+	if h.Bucket(3) != 1 {
+		t.Fatal("sample not in bucket 3")
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(10, 5, 4) // covers [10, 30)
+	h.Add(-100)                 // underflow
+	h.Add(5)                    // underflow
+	h.Add(12)                   // bucket 0
+	h.Add(29.9)                 // bucket 3
+	h.Add(30)                   // overflow (right-open range)
+	h.Add(1e9)                  // overflow
+	if h.N() != 6 {
+		t.Fatalf("N=%d", h.N())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(3) != 1 {
+		t.Fatalf("bucket counts: %d %d", h.Bucket(0), h.Bucket(3))
+	}
+	// Underflowed observations degrade to the range's low edge...
+	if got := h.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0)=%v, want the low edge 10", got)
+	}
+	// ...and overflowed ones to the high edge.
+	if got := h.Quantile(1); got != 30 {
+		t.Fatalf("Quantile(1)=%v, want the high edge 30", got)
+	}
+	// The mean still uses the exact values, not the clamped edges.
+	if h.Mean() >= 30 || h.Mean() <= 10 {
+		// (-100+5+12+29.9+30+1e9)/6 ≈ 1.7e8: way above the range.
+		if h.Mean() < 1e8 {
+			t.Fatalf("mean %v lost the exact overflow values", h.Mean())
+		}
+	}
+}
+
+func TestHistogramAllUnderflow(t *testing.T) {
+	h := NewHistogram(100, 10, 3)
+	h.Add(1)
+	h.Add(2)
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("all-underflow Quantile(0.5)=%v, want the low edge", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v", got)
+	}
+	one := []float64{7}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Quantile(one, q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v)=%v, want 7", q, got)
+		}
+	}
+	vs := []float64{5, 1, 3, 2, 4}
+	if Quantile(vs, 0) != 1 || Quantile(vs, 1) != 5 {
+		t.Fatalf("extremes: q0=%v q1=%v", Quantile(vs, 0), Quantile(vs, 1))
+	}
+	if got := Quantile(vs, 0.5); got != 3 {
+		t.Fatalf("median %v, want 3", got)
+	}
+	// The input slice must not be reordered (Quantile sorts a copy).
+	if vs[0] != 5 || vs[4] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

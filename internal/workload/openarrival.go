@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+
+	"perfiso/internal/core"
+	"perfiso/internal/fs"
+	"perfiso/internal/kernel"
+	"perfiso/internal/latency"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+)
+
+// ArrivalPattern names an open-arrival interarrival process. Open
+// arrivals are the workload shape that exposes queueing collapse: the
+// next request arrives whether or not the previous one finished, so a
+// scheme that delays one handler pays for it in every later handler's
+// queueing time — exactly the tail-latency concern of §3.1.
+type ArrivalPattern int
+
+const (
+	// Periodic arrivals come exactly Mean apart (the closed-form
+	// baseline, same shape ServerParams generates).
+	Periodic ArrivalPattern = iota
+	// Poisson arrivals are exponentially distributed with mean Mean —
+	// the classic open-system model.
+	Poisson
+	// Bursty arrivals follow an on-off (interrupted Poisson) process:
+	// exponentially distributed on-phases of mean OnMean during which
+	// requests arrive BurstFactor times faster than Mean, separated by
+	// exponentially distributed quiet phases of mean OffMean.
+	Bursty
+)
+
+func (p ArrivalPattern) String() string {
+	switch p {
+	case Periodic:
+		return "periodic"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// OpenServerParams shapes an open-arrival service. The interarrival
+// schedule is precomputed from Seed at build time, so a given (params,
+// seed) pair produces byte-identical arrivals on every run, at any
+// harness parallelism, on either event-queue implementation.
+type OpenServerParams struct {
+	Requests int
+	// Mean is the mean interarrival time (the offered load is one
+	// request per Mean on average, regardless of Pattern).
+	Mean    sim.Time
+	Pattern ArrivalPattern
+	// OnMean, OffMean, and BurstFactor shape the Bursty pattern; ignored
+	// otherwise. Zero values default to BurstFactor=4, OnMean=10*Mean,
+	// and OffMean=(BurstFactor-1)*OnMean — quiet phases sized so the
+	// overall rate stays one request per Mean.
+	OnMean      sim.Time
+	OffMean     sim.Time
+	BurstFactor float64
+	// Service is the CPU per request; ServiceJitter, when positive, adds
+	// uniform [0, ServiceJitter) per-request jitter from the same seed.
+	Service       sim.Time
+	ServiceJitter sim.Time
+	// ReadBytes/DataBytes mirror ServerParams: per-request reads from a
+	// per-tenant data file.
+	ReadBytes int64
+	DataBytes int64
+	// Seed seeds the arrival and jitter schedule (a fixed default when
+	// zero, so the zero value is still deterministic).
+	Seed uint64
+	// SLO, when valid, is registered with the tenant's latency tracker:
+	// Target fraction of requests within Threshold.
+	SLO latency.SLO
+}
+
+// DefaultOpenServer returns a light Poisson service: 400 requests at
+// one per 25 ms mean, 2 ms of CPU each, with a 99%-within-20ms SLO.
+func DefaultOpenServer() OpenServerParams {
+	return OpenServerParams{
+		Requests: 400,
+		Mean:     25 * sim.Millisecond,
+		Pattern:  Poisson,
+		Service:  2 * sim.Millisecond,
+		SLO:      latency.SLO{Threshold: 20 * sim.Millisecond, Target: 0.99},
+	}
+}
+
+// Gaps returns the request interarrival schedule: Requests gaps, the
+// i-th being the wait before arrival i. Pure function of the params.
+func (p OpenServerParams) Gaps() []sim.Time {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0xa22a1
+	}
+	rng := sim.NewRNG(seed)
+	gaps := make([]sim.Time, p.Requests)
+	switch p.Pattern {
+	case Periodic:
+		for i := range gaps {
+			gaps[i] = p.Mean
+		}
+	case Poisson:
+		for i := range gaps {
+			gaps[i] = rng.Exp(p.Mean)
+		}
+	case Bursty:
+		on, off, factor := p.OnMean, p.OffMean, p.BurstFactor
+		if factor <= 1 {
+			factor = 4
+		}
+		if on <= 0 {
+			on = 10 * p.Mean
+		}
+		if off <= 0 {
+			// Quiet phases sized so the duty cycle cancels the in-burst
+			// speed-up and the overall rate stays one request per Mean.
+			off = sim.Time(float64(on) * (factor - 1))
+		}
+		// Interrupted Poisson: inside an on-phase arrivals come factor
+		// times faster than Mean; a draw that overruns the phase carries
+		// its remainder across the quiet phase into the next burst.
+		inMean := sim.Time(float64(p.Mean) / factor)
+		rem := rng.Exp(on)
+		for i := range gaps {
+			var gap sim.Time
+			draw := rng.Exp(inMean)
+			for draw > rem {
+				draw -= rem
+				gap += rem + rng.Exp(off)
+				rem = rng.Exp(on)
+			}
+			gap += draw
+			rem -= draw
+			gaps[i] = gap
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown arrival pattern %v", p.Pattern))
+	}
+	return gaps
+}
+
+// OpenServer builds an open-arrival service on the SPU: a dispatcher
+// that forks one handler per precomputed arrival, with every completed
+// request recorded into the kernel's latency registry under the
+// service's name (a no-op when latency tracking is off). The returned
+// job censors in-flight requests via CensorTail after bounded runs.
+func OpenServer(k *kernel.Kernel, spu core.SPUID, name string, p OpenServerParams) *ServerJob {
+	if p.Requests <= 0 {
+		panic(fmt.Sprintf("workload: open server %q with %d requests", name, p.Requests))
+	}
+	if p.Mean <= 0 {
+		panic(fmt.Sprintf("workload: open server %q with non-positive mean interarrival", name))
+	}
+	job := &ServerJob{tracker: k.Latency().Tracker(name, spu, p.SLO)}
+	var data *fs.File
+	if p.ReadBytes > 0 {
+		size := p.DataBytes
+		if size <= 0 {
+			size = 4 << 20
+		}
+		data = k.AffinityAllocator(spu).NewFile(name+".data", size, fs.Contiguous, 0)
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0xa22a1
+	}
+	jitter := sim.NewRNG(seed ^ 0x5e41ce) // independent of the arrival stream
+	var steps []proc.Step
+	for i, gap := range p.Gaps() {
+		service := p.Service
+		if p.ServiceJitter > 0 {
+			service += jitter.Duration(0, p.ServiceJitter)
+		}
+		var body []proc.Step
+		if data != nil {
+			off := (int64(i) * p.ReadBytes) % (data.Size - p.ReadBytes)
+			body = append(body, proc.Read{File: data, Off: off, N: p.ReadBytes})
+		}
+		body = append(body, proc.Compute{D: service})
+		h := proc.New(k, spu, fmt.Sprintf("%s.req%d", name, i), body)
+		job.recordExit(h)
+		job.handlers = append(job.handlers, h)
+		steps = append(steps,
+			proc.Sleep{D: gap},
+			proc.Fork{Child: h},
+		)
+	}
+	steps = append(steps, proc.WaitChildren{})
+	job.Root = proc.New(k, spu, name, steps)
+	return job
+}
+
+// TenantSpec is one tenant of the multi-tenant open-arrival experiment:
+// an SPU weight and the open service running on it.
+type TenantSpec struct {
+	Name   string
+	Weight float64
+	Server OpenServerParams
+}
+
+// TenantSet is the canonical multi-tenant server mix used by the
+// open-arrival experiment and the pisosim "tenants" workload: four
+// tenants with distinct arrival processes and SLOs — two plain Poisson
+// services, one doing per-request disk reads, and one bursty — all
+// sized so the machine is busy but not saturated when isolation works.
+func TenantSet() []TenantSpec {
+	return []TenantSpec{
+		{Name: "web", Weight: 1, Server: OpenServerParams{
+			Requests: 300, Mean: 25 * sim.Millisecond, Pattern: Poisson,
+			Service: 2 * sim.Millisecond, ServiceJitter: sim.Millisecond,
+			Seed: 11, SLO: latency.SLO{Threshold: 20 * sim.Millisecond, Target: 0.99},
+		}},
+		{Name: "api", Weight: 1, Server: OpenServerParams{
+			Requests: 400, Mean: 18 * sim.Millisecond, Pattern: Poisson,
+			Service: 3 * sim.Millisecond,
+			Seed:    22, SLO: latency.SLO{Threshold: 25 * sim.Millisecond, Target: 0.99},
+		}},
+		{Name: "search", Weight: 1, Server: OpenServerParams{
+			Requests: 200, Mean: 40 * sim.Millisecond, Pattern: Poisson,
+			Service: 4 * sim.Millisecond, ReadBytes: 64 * 1024, DataBytes: 8 << 20,
+			Seed: 33, SLO: latency.SLO{Threshold: 40 * sim.Millisecond, Target: 0.95},
+		}},
+		{Name: "batchq", Weight: 1, Server: OpenServerParams{
+			Requests: 250, Mean: 30 * sim.Millisecond, Pattern: Bursty,
+			BurstFactor: 4, Service: 3 * sim.Millisecond,
+			Seed: 44, SLO: latency.SLO{Threshold: 60 * sim.Millisecond, Target: 0.95},
+		}},
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/kernel"
+	"perfiso/internal/latency"
+	"perfiso/internal/machine"
+	"perfiso/internal/sim"
+)
+
+func bootLatency(scheme core.Scheme, nSPU int) (*kernel.Kernel, []*core.SPU) {
+	k := kernel.New(machine.Pmake8(), scheme, kernel.Options{LatencyWindow: sim.Second})
+	var us []*core.SPU
+	for i := 0; i < nSPU; i++ {
+		us = append(us, k.NewSPU("u", 1))
+	}
+	k.Boot()
+	return k, us
+}
+
+// The arrival schedule is a pure function of the params: same seed,
+// same gaps; different seeds, different gaps; and the empirical mean
+// tracks the configured mean for every pattern.
+func TestOpenArrivalGapsDeterministicAndCalibrated(t *testing.T) {
+	for _, pattern := range []ArrivalPattern{Periodic, Poisson, Bursty} {
+		p := OpenServerParams{Requests: 4000, Mean: 10 * sim.Millisecond, Pattern: pattern, Seed: 9}
+		a, b := p.Gaps(), p.Gaps()
+		if len(a) != 4000 {
+			t.Fatalf("%v: %d gaps", pattern, len(a))
+		}
+		var sum sim.Time
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: gap %d differs between identical builds", pattern, i)
+			}
+			if a[i] < 0 {
+				t.Fatalf("%v: negative gap %v", pattern, a[i])
+			}
+			sum += a[i]
+		}
+		mean := float64(sum) / 4000
+		if mean < 0.8*float64(p.Mean) || mean > 1.2*float64(p.Mean) {
+			t.Errorf("%v: empirical mean interarrival %.2fms, want ~10ms",
+				pattern, mean/float64(sim.Millisecond))
+		}
+		p2 := p
+		p2.Seed = 10
+		if pattern != Periodic && p2.Gaps()[0] == a[0] && p2.Gaps()[1] == a[1] {
+			t.Errorf("%v: different seeds produced the same schedule", pattern)
+		}
+	}
+}
+
+// Bursty schedules must actually cluster: the variance of the gaps is
+// well above Poisson's (the squared-mean for an exponential).
+func TestBurstyArrivalsCluster(t *testing.T) {
+	p := OpenServerParams{Requests: 4000, Mean: 10 * sim.Millisecond, Pattern: Bursty, Seed: 3}
+	gaps := p.Gaps()
+	var sum, sq float64
+	for _, g := range gaps {
+		sum += float64(g)
+		sq += float64(g) * float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	variance := sq/float64(len(gaps)) - mean*mean
+	if variance < 2*mean*mean {
+		t.Fatalf("bursty gap variance %.3g not clearly above exponential's %.3g", variance, mean*mean)
+	}
+}
+
+// An open server on an idle machine completes every request in its
+// service time and records each into the kernel's latency registry,
+// with the SLO fully attained.
+func TestOpenServerRecordsLatencies(t *testing.T) {
+	k, us := bootLatency(core.PIso, 1)
+	p := DefaultOpenServer()
+	p.Requests = 60
+	job := OpenServer(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	k.Run()
+	if job.Completed() != 60 || job.InFlight() != 0 || job.Pending() != 0 {
+		t.Fatalf("completed=%d inflight=%d pending=%d", job.Completed(), job.InFlight(), job.Pending())
+	}
+	tr := job.Tracker()
+	if tr == nil || tr.Count() != 60 {
+		t.Fatalf("tracker recorded %d of 60 requests", tr.Count())
+	}
+	if tr.Attainment() != 100 {
+		t.Fatalf("attainment %.2f%% on an idle machine", tr.Attainment())
+	}
+	if got := tr.Total().Quantile(0.5); got != int64(p.Service) {
+		t.Fatalf("p50 %dns, want the exact service time %d", got, int64(p.Service))
+	}
+	if len(tr.Windows()) == 0 {
+		t.Fatal("no timeline windows despite a multi-second run")
+	}
+}
+
+// With latency tracking off, the same workload runs identically and the
+// tracker is a nil no-op.
+func TestOpenServerWithoutLatencyRegistry(t *testing.T) {
+	k, us := boot(core.PIso, 1)
+	p := DefaultOpenServer()
+	p.Requests = 20
+	job := OpenServer(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	end := k.Run()
+	if job.Tracker() != nil {
+		t.Fatal("tracker must be nil when Options.LatencyWindow is off")
+	}
+	if job.Latencies(end).N() != 20 {
+		t.Fatal("censored sample lost requests")
+	}
+	if n := job.CensorTail(end); n != 0 {
+		t.Fatalf("CensorTail found %d in-flight after a complete run", n)
+	}
+}
+
+// A run stopped before the service drains right-censors the stragglers:
+// CensorTail folds them into the tracker as lower bounds and the JSONL
+// carries the censored count.
+func TestOpenServerCensoredAtHorizon(t *testing.T) {
+	k, us := bootLatency(core.PIso, 1)
+	p := DefaultOpenServer()
+	p.Requests = 200
+	p.Service = 50 * sim.Millisecond // far above the 25 ms mean interarrival: queue grows
+	job := OpenServer(k, us[0].ID(), "svc", p)
+	k.Spawn(job.Root)
+	horizon := 2 * sim.Second
+	k.RunUntil(horizon)
+	inflight := job.InFlight()
+	if inflight == 0 {
+		t.Fatal("overloaded service has no in-flight requests at the horizon?")
+	}
+	completed := int64(job.Tracker().Count())
+	if n := job.CensorTail(horizon); n != inflight {
+		t.Fatalf("CensorTail folded %d, in-flight was %d", n, inflight)
+	}
+	tr := job.Tracker()
+	if tr.Censored() != int64(inflight) || tr.Count() != completed+int64(inflight) {
+		t.Fatalf("tracker censored=%d count=%d, want %d and %d",
+			tr.Censored(), tr.Count(), inflight, completed+int64(inflight))
+	}
+	var buf bytes.Buffer
+	if err := k.WriteLatency(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"censored":`+itoa(inflight))) {
+		t.Fatalf("JSONL does not carry the censored count %d:\n%s", inflight, buf.String())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Two kernels running the same tenant mix export byte-identical
+// latency JSONL — the determinism contract end to end.
+func TestOpenServerLatencyExportDeterministic(t *testing.T) {
+	run := func() string {
+		k, us := bootLatency(core.PIso, 2)
+		for i, ts := range TenantSet()[:2] {
+			job := OpenServer(k, us[i].ID(), ts.Name, ts.Server)
+			k.Spawn(job.Root)
+		}
+		k.Run()
+		var buf bytes.Buffer
+		if err := k.WriteLatency(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("latency JSONL differs between identical runs")
+	}
+	if a == "" {
+		t.Fatal("empty export")
+	}
+}
+
+// TenantSet is self-consistent: unique names and seeds, valid SLOs.
+func TestTenantSetWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for _, ts := range TenantSet() {
+		if seen[ts.Name] {
+			t.Fatalf("duplicate tenant %q", ts.Name)
+		}
+		seen[ts.Name] = true
+		if seeds[ts.Server.Seed] {
+			t.Fatalf("tenant %q reuses a seed", ts.Name)
+		}
+		seeds[ts.Server.Seed] = true
+		if !ts.Server.SLO.Valid() {
+			t.Fatalf("tenant %q has no valid SLO", ts.Name)
+		}
+		if ts.Server.Requests <= 0 || ts.Server.Mean <= 0 {
+			t.Fatalf("tenant %q under-specified", ts.Name)
+		}
+	}
+	if !(latency.SLO{Threshold: sim.Millisecond, Target: 0.5}).Valid() {
+		t.Fatal("SLO validity helper broken")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"perfiso/internal/core"
 	"perfiso/internal/fs"
 	"perfiso/internal/kernel"
+	"perfiso/internal/latency"
 	"perfiso/internal/proc"
 	"perfiso/internal/sim"
 	"perfiso/internal/stats"
@@ -39,41 +40,116 @@ func DefaultServer() ServerParams {
 type ServerJob struct {
 	Root     *proc.Process
 	handlers []*proc.Process
+	tracker  *latency.Tracker
 }
 
-// Latencies returns a sample of per-request latencies in seconds. Only
-// meaningful after the run completes.
-func (j *ServerJob) Latencies() *stats.Sample {
-	var s stats.Sample
+// Completed returns how many request handlers have exited.
+func (j *ServerJob) Completed() int {
+	n := 0
 	for _, h := range j.handlers {
 		if h.State() == proc.Exited {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns how many request handlers have started but not
+// exited — requests a horizon-bounded run right-censors.
+func (j *ServerJob) InFlight() int {
+	n := 0
+	for _, h := range j.handlers {
+		if h.State() == proc.Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns how many request handlers have not started yet (the
+// dispatcher never reached their arrival).
+func (j *ServerJob) Pending() int {
+	n := 0
+	for _, h := range j.handlers {
+		if h.State() == proc.Created {
+			n++
+		}
+	}
+	return n
+}
+
+// Latencies returns a sample of per-request latencies in seconds,
+// censored: requests still in flight at now contribute their elapsed
+// time (now − start) as a lower bound, so a scheme that strands
+// requests cannot report a clean tail. Pass the run's end time (the
+// engine clock after Run, or the horizon for a bounded run).
+func (j *ServerJob) Latencies(now sim.Time) *stats.Sample {
+	var s stats.Sample
+	for _, h := range j.handlers {
+		switch h.State() {
+		case proc.Exited:
 			s.AddTime(h.ResponseTime())
+		case proc.Running:
+			if now > h.Started {
+				s.AddTime(now - h.Started)
+			}
 		}
 	}
 	return &s
 }
 
-// MaxLatency returns the worst request latency.
-func (j *ServerJob) MaxLatency() sim.Time {
+// MaxLatency returns the worst request latency, censored the same way
+// as Latencies.
+func (j *ServerJob) MaxLatency(now sim.Time) sim.Time {
 	var max sim.Time
 	for _, h := range j.handlers {
-		if h.State() == proc.Exited && h.ResponseTime() > max {
-			max = h.ResponseTime()
+		var d sim.Time
+		switch h.State() {
+		case proc.Exited:
+			d = h.ResponseTime()
+		case proc.Running:
+			d = now - h.Started
+		}
+		if d > max {
+			max = d
 		}
 	}
 	return max
 }
 
 // LatencyQuantile returns the q-quantile (0..1) of request latencies,
-// e.g. 0.99 for the p99 tail.
-func (j *ServerJob) LatencyQuantile(q float64) sim.Time {
+// e.g. 0.99 for the p99 tail, censored the same way as Latencies.
+func (j *ServerJob) LatencyQuantile(now sim.Time, q float64) sim.Time {
 	var vs []float64
 	for _, h := range j.handlers {
-		if h.State() == proc.Exited {
+		switch h.State() {
+		case proc.Exited:
 			vs = append(vs, float64(h.ResponseTime()))
+		case proc.Running:
+			if now > h.Started {
+				vs = append(vs, float64(now-h.Started))
+			}
 		}
 	}
 	return sim.Time(stats.Quantile(vs, q))
+}
+
+// Tracker returns the job's latency tracker (nil when the kernel's
+// latency registry is off).
+func (j *ServerJob) Tracker() *latency.Tracker { return j.tracker }
+
+// CensorTail folds every request still in flight at now into the job's
+// latency tracker as right-censored lower bounds and returns how many
+// there were. Call it once after a bounded run, before exporting.
+func (j *ServerJob) CensorTail(now sim.Time) int {
+	n := 0
+	for _, h := range j.handlers {
+		if h.State() == proc.Running && now > h.Started {
+			j.tracker.RecordCensored(now, now-h.Started)
+			n++
+		}
+	}
+	return n
 }
 
 // Server builds the interactive service for the SPU. The dispatcher
@@ -82,7 +158,7 @@ func Server(k *kernel.Kernel, spu core.SPUID, name string, p ServerParams) *Serv
 	if p.Requests <= 0 {
 		panic(fmt.Sprintf("workload: server %q with %d requests", name, p.Requests))
 	}
-	job := &ServerJob{}
+	job := &ServerJob{tracker: k.Latency().Tracker(name, spu, latency.SLO{})}
 	var data *fs.File
 	if p.ReadBytes > 0 {
 		size := p.DataBytes
@@ -100,6 +176,7 @@ func Server(k *kernel.Kernel, spu core.SPUID, name string, p ServerParams) *Serv
 		}
 		body = append(body, proc.Compute{D: p.Service})
 		h := proc.New(k, spu, fmt.Sprintf("%s.req%d", name, i), body)
+		job.recordExit(h)
 		job.handlers = append(job.handlers, h)
 		steps = append(steps,
 			proc.Sleep{D: p.Interarrival},
@@ -109,4 +186,18 @@ func Server(k *kernel.Kernel, spu core.SPUID, name string, p ServerParams) *Serv
 	steps = append(steps, proc.WaitChildren{})
 	job.Root = proc.New(k, spu, name, steps)
 	return job
+}
+
+// recordExit chains a latency-recording hook onto the handler's exit:
+// the completed request's response time lands in the job's tracker at
+// the handler's finish time. A nil tracker (latency off) costs one nil
+// check per request.
+func (j *ServerJob) recordExit(h *proc.Process) {
+	prev := h.OnExit
+	h.OnExit = func(p *proc.Process) {
+		j.tracker.Record(p.Finished, p.ResponseTime())
+		if prev != nil {
+			prev(p)
+		}
+	}
 }

@@ -14,11 +14,11 @@ func TestServerCompletesAllRequests(t *testing.T) {
 	p.Requests = 50
 	job := Server(k, us[0].ID(), "svc", p)
 	k.Spawn(job.Root)
-	k.Run()
+	end := k.Run()
 	if job.Root.State() != proc.Exited {
 		t.Fatal("dispatcher never finished")
 	}
-	lat := job.Latencies()
+	lat := job.Latencies(end)
 	if lat.N() != 50 {
 		t.Fatalf("completed %d of 50 requests", lat.N())
 	}
@@ -35,15 +35,15 @@ func TestServerWithReads(t *testing.T) {
 	p.ReadBytes = 64 * 1024
 	job := Server(k, us[0].ID(), "svc", p)
 	k.Spawn(job.Root)
-	k.Run()
-	if job.Latencies().N() != 20 {
+	end := k.Run()
+	if job.Latencies(end).N() != 20 {
 		t.Fatal("requests lost")
 	}
 	if k.FS().Stat.ReadReqs == 0 {
 		t.Fatal("no disk reads despite ReadBytes")
 	}
 	// First (cold) request pays disk time; warm ones may hit cache.
-	if job.MaxLatency() <= p.Service {
+	if job.MaxLatency(end) <= p.Service {
 		t.Fatal("max latency should exceed pure service time (cold read)")
 	}
 }
@@ -70,8 +70,8 @@ func TestServerTailLatencyIsolation(t *testing.T) {
 			k.Spawn(ComputeBound(k, us[1].ID(), "batch", ComputeParams{
 				Total: 20 * sim.Second, Chunk: 100 * sim.Millisecond, WSSPages: 20}))
 		}
-		k.Run()
-		return job.MaxLatency()
+		end := k.Run()
+		return job.MaxLatency(end)
 	}
 	smp := run(core.SMP, false)
 	piso := run(core.PIso, false)

@@ -38,16 +38,16 @@ func TestServerLatencyQuantile(t *testing.T) {
 	p.Requests = 40
 	job := Server(k, us[0].ID(), "svc", p)
 	k.Spawn(job.Root)
-	k.Run()
-	p50 := job.LatencyQuantile(0.5)
-	p99 := job.LatencyQuantile(0.99)
+	end := k.Run()
+	p50 := job.LatencyQuantile(end, 0.5)
+	p99 := job.LatencyQuantile(end, 0.99)
 	if p50 != p.Service {
 		t.Fatalf("p50 = %v, want %v on an idle machine", p50, p.Service)
 	}
 	if p99 < p50 {
 		t.Fatalf("p99 %v below p50 %v", p99, p50)
 	}
-	if job.LatencyQuantile(0) > job.LatencyQuantile(1) {
+	if job.LatencyQuantile(end, 0) > job.LatencyQuantile(end, 1) {
 		t.Fatal("quantile ordering broken")
 	}
 	_ = sim.Time(0)

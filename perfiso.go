@@ -38,6 +38,7 @@ import (
 	"perfiso/internal/experiment"
 	"perfiso/internal/fault"
 	"perfiso/internal/kernel"
+	"perfiso/internal/latency"
 	"perfiso/internal/machine"
 	"perfiso/internal/proc"
 	"perfiso/internal/sim"
@@ -77,6 +78,24 @@ type (
 	// ServerJob is a running interactive service with per-request
 	// latency statistics.
 	ServerJob = workload.ServerJob
+	// OpenServerParams shapes an open-arrival request-serving workload:
+	// requests arrive on their own clock (periodic, Poisson, or bursty)
+	// whether or not earlier ones finished.
+	OpenServerParams = workload.OpenServerParams
+	// ArrivalPattern picks the open workload's interarrival process.
+	ArrivalPattern = workload.ArrivalPattern
+	// TenantSpec names one tenant of a multi-tenant server machine.
+	TenantSpec = workload.TenantSpec
+	// LatencySLO is a latency objective: a threshold and the fraction
+	// of requests that must meet it.
+	LatencySLO = latency.SLO
+)
+
+// Arrival patterns for OpenServerParams.
+const (
+	Periodic = workload.Periodic
+	Poisson  = workload.Poisson
+	Bursty   = workload.Bursty
 )
 
 // Program step constructors, re-exported for building custom workloads.
@@ -124,14 +143,18 @@ func ParseFaults(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec)
 
 // Workload parameter presets.
 var (
-	DefaultPmake     = workload.DefaultPmake
-	MemPmake         = workload.MemPmake
-	DiskPmake        = workload.DiskPmake
-	DefaultCopy      = workload.DefaultCopy
-	DefaultOcean     = workload.DefaultOcean
-	DefaultFlashlite = workload.DefaultFlashlite
-	DefaultVCS       = workload.DefaultVCS
-	DefaultServer    = workload.DefaultServer
+	DefaultPmake      = workload.DefaultPmake
+	MemPmake          = workload.MemPmake
+	DiskPmake         = workload.DiskPmake
+	DefaultCopy       = workload.DefaultCopy
+	DefaultOcean      = workload.DefaultOcean
+	DefaultFlashlite  = workload.DefaultFlashlite
+	DefaultVCS        = workload.DefaultVCS
+	DefaultServer     = workload.DefaultServer
+	DefaultOpenServer = workload.DefaultOpenServer
+	// TenantSet is the four-tenant mix the open-arrival experiment and
+	// the pisosim "tenants" workload share.
+	TenantSet = workload.TenantSet
 )
 
 // System is one booted simulated machine plus its workloads.
@@ -205,6 +228,18 @@ func (s *System) Server(spu *SPU, name string, p ServerParams) *ServerJob {
 	return job
 }
 
+// OpenServer attaches an open-arrival request-serving workload to the
+// SPU: requests arrive on the pattern's clock regardless of whether
+// earlier ones finished, so queueing delay shows up in the latency
+// distribution instead of slowing the arrival stream down. Per-request
+// latencies feed the kernel's latency registry when
+// Options.LatencyWindow is set.
+func (s *System) OpenServer(spu *SPU, name string, p OpenServerParams) *ServerJob {
+	job := workload.OpenServer(s.k, spu.ID(), name, p)
+	s.spawn(job.Root)
+	return job
+}
+
 // Custom attaches a process running an arbitrary step program.
 func (s *System) Custom(spu *SPU, name string, steps []Step) *Process {
 	return s.spawn(proc.New(s.k, spu.ID(), name, steps))
@@ -271,6 +306,12 @@ func (s *System) WriteMetrics(w io.Writer) error { return s.k.WriteMetrics(w) }
 // off.
 func (s *System) WriteChromeTrace(w io.Writer) error { return s.k.WriteChromeTrace(w) }
 
+// WriteLatency writes the run's tail-latency registry as deterministic
+// JSONL: one summary line and one SLO line per tracked stream, plus a
+// windowed percentile timeline. Enable collection with
+// Options.LatencyWindow; an error when latency tracking is off.
+func (s *System) WriteLatency(w io.Writer) error { return s.k.WriteLatency(w) }
+
 // WriteProfile writes the run's simulated-time profile as a gzipped
 // pprof protobuf: one sample per (SPU, resource, state) bucket with the
 // folded stack spu;resource;state, plus one "stolen" sample per
@@ -309,5 +350,8 @@ func ReproduceAll() string {
 	out += experiment.RunAblationGang().Table().String() + "\n"
 	out += experiment.RunAblationNetwork().Table().String() + "\n"
 	out += experiment.RunServerLatency().Table().String() + "\n"
+	oa := experiment.RunOpenArrival()
+	out += oa.Table().String() + "\n"
+	out += oa.BreakdownTable().String() + "\n"
 	return out
 }
