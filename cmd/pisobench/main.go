@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-latency PATH] [-eventq calendar|heap]
+//	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-latency PATH] [-controller PATH] [-eventq calendar|heap]
 //	pisobench -perf [-perf-scenarios IDS] [-perf-reps N] [-perf-baseline PATH] [-perf-gate FRAC] [-json PATH]
 //	pisobench -diff OLD.json NEW.json
 //	pisobench -soak [-soak-runs N] [-soak-seed S] [-soak-case K] [-soak-faults SPEC]
@@ -52,6 +52,7 @@ type config struct {
 	metricsPath string
 	profilePath string
 	latencyPath string
+	controlPath string
 	eventq      string
 	diff        bool
 	diffArgs    []string
@@ -79,6 +80,7 @@ func main() {
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write the per-experiment metrics artifact (JSONL) to this path")
 	flag.StringVar(&cfg.profilePath, "profile", "", "write the per-experiment attribution artifact (JSONL: latency breakdowns, interference matrix, spans) to this path")
 	flag.StringVar(&cfg.latencyPath, "latency", "", "write the per-experiment tail-latency artifact (JSONL: percentiles, SLO attainment, window timelines) to this path")
+	flag.StringVar(&cfg.controlPath, "controller", "", "write the per-experiment controller artifact (JSONL: decision logs of every closed-loop run) to this path")
 	flag.BoolVar(&cfg.diff, "diff", false, "compare two pisobench JSON reports (bench or perf): pisobench -diff old.json new.json")
 	flag.StringVar(&cfg.eventq, "eventq", "", "event queue implementation: calendar (default) or heap")
 	flag.BoolVar(&cfg.perf, "perf", false, "run the perf baseline instead of printing tables (BENCH_perf.json via -json)")
@@ -334,6 +336,17 @@ func run(cfg config, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if err := os.WriteFile(cfg.latencyPath, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.controlPath != "" {
+		var buf strings.Builder
+		if err := experiment.ControllerJSONL(results, &buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.controlPath, []byte(buf.String()), 0o644); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}

@@ -6,6 +6,7 @@
 //
 //	pisosim -workload pmake8|cpu|mem|disk|tenants -scheme SMP|Quo|PIso [-disksched Pos|Iso|PIso]
 //	pisosim -workload tenants -latency latency.jsonl   # per-tenant tail latency + SLO artifact
+//	pisosim -workload tenants -adaptive -controller ctl.jsonl   # closed-loop SLO entitlement control
 //	pisosim -faults disk-fail:0:1s:2s:0.3,cpu-off:1:500ms:0s   # inject deterministic faults
 //	pisosim -spec scenario.json          # declarative scenario, JSON result
 package main
@@ -43,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeline := fs.Bool("timeline", false, "render per-SPU usage sparklines")
 	metricsPath := fs.String("metrics", "", "write per-SPU metrics as JSONL to this file")
 	latencyPath := fs.String("latency", "", "write per-tenant tail-latency summaries, SLO attainment, and window timelines as JSONL to this file")
+	adaptive := fs.Bool("adaptive", false, "close the loop: retune SPU entitlements from SLO burn (admission control, retry budgets, disk breakers)")
+	controllerPath := fs.String("controller", "", "write the controller's decision log as JSONL to this file (implies -adaptive)")
 	chromePath := fs.String("chrometrace", "", "write a Chrome trace-event file (open in Perfetto or chrome://tracing)")
 	profilePath := fs.String("profile", "", "write the simulated-time profile as gzipped pprof protobuf to this file")
 	spansPath := fs.String("spans", "", "write per-request span trees as JSONL to this file")
@@ -104,6 +107,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *latencyPath != "" {
 		opts.LatencyWindow = 500 * perfiso.Millisecond
 	}
+	if *controllerPath != "" {
+		*adaptive = true
+	}
+	if *adaptive {
+		// The controller's only sensor is the windowed SLO burn, so the
+		// closed loop always brings the latency registry with it.
+		if opts.LatencyWindow == 0 {
+			opts.LatencyWindow = 500 * perfiso.Millisecond
+		}
+		opts.Control = perfiso.ControlConfig{Enabled: true}
+	}
 	if *profilePath != "" || *spansPath != "" {
 		opts.Profiled = true
 	}
@@ -132,6 +146,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "\nlatency written to %s\n", *latencyPath)
+	}
+	if *controllerPath != "" {
+		if err := writeExport(*controllerPath, sys.WriteController); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "controller decisions written to %s\n", *controllerPath)
 	}
 	if *metricsPath != "" {
 		if err := writeExport(*metricsPath, sys.WriteMetrics); err != nil {
@@ -213,6 +234,11 @@ func report(sys *perfiso.System, w io.Writer, kinds []trace.Kind, spu string) {
 	}
 	if tbl := sys.Kernel().LatencyTable(); tbl != nil {
 		fmt.Fprintf(w, "\n%s", tbl)
+	}
+	if c := sys.Kernel().Controller(); c != nil {
+		st := c.Stat
+		fmt.Fprintf(w, "\ncontroller: %d ticks, %d retunes (%d boosts, %d releases), %d shed, %d breaker trips\n",
+			st.Ticks, st.Retunes, st.Boosts, st.Releases, st.Shed, st.Trips)
 	}
 	if p := sys.Kernel().Profile(); p != nil {
 		printAttribution(p, w)

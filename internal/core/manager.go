@@ -108,20 +108,33 @@ func (m *Manager) TotalWeight() float64 {
 	return w
 }
 
+// TotalShare returns the sum of active user SPU effective shares.
+// With no controller retunes in effect this equals TotalWeight, and
+// the division helpers below produce bit-identical results to the
+// static weight-driven math.
+func (m *Manager) TotalShare() float64 {
+	var w float64
+	for _, s := range m.ActiveUsers() {
+		w += s.Share()
+	}
+	return w
+}
+
 // Divide splits total units of a resource among the active user SPUs in
-// proportion to their weights, setting each SPU's entitled and allowed
+// proportion to their effective shares (static weights unless a
+// controller retuned them), setting each SPU's entitled and allowed
 // levels. It implements the machine's sharing contract (§2.1). Resources
 // already consumed by the kernel and shared SPUs should be subtracted by
 // the caller before dividing, so that their cost is borne by everyone
 // (§2.2).
 func (m *Manager) Divide(r Resource, total float64) {
 	users := m.ActiveUsers()
-	tw := m.TotalWeight()
+	tw := m.TotalShare()
 	if tw == 0 {
 		return
 	}
 	for _, s := range users {
-		share := total * s.weight / tw
+		share := total * s.Share() / tw
 		s.levels[r].Entitled = share
 		s.levels[r].Allowed = share
 	}
@@ -135,7 +148,7 @@ func (m *Manager) Divide(r Resource, total float64) {
 // until the next DivideIntegral call.
 func (m *Manager) DivideIntegral(r Resource, total int) []int {
 	users := m.ActiveUsers()
-	tw := m.TotalWeight()
+	tw := m.TotalShare()
 	if cap(m.sharesBuf) < len(users) {
 		m.sharesBuf = make([]int, len(users))
 		m.fracsBuf = make([]frac, len(users))
@@ -154,7 +167,7 @@ func (m *Manager) DivideIntegral(r Resource, total int) []int {
 	fracs := m.fracsBuf[:len(users)]
 	assigned := 0
 	for i, s := range users {
-		exact := float64(total) * s.weight / tw
+		exact := float64(total) * s.Share() / tw
 		shares[i] = int(exact)
 		fracs[i] = frac{i, exact - float64(shares[i])}
 		assigned += shares[i]

@@ -169,6 +169,7 @@ type SPU struct {
 	name   string
 	policy Policy
 	weight float64 // relative share of the machine (1.0 = one equal share)
+	share  float64 // dynamic share; 0 means "use weight" (static contract)
 	levels [NumResources]Levels
 	active bool
 	mgr    *Manager // owning manager; invalidates its active-user cache
@@ -189,6 +190,36 @@ func (s *SPU) SetPolicy(p Policy) { s.policy = p }
 
 // Weight returns the SPU's relative share weight.
 func (s *SPU) Weight() float64 { return s.weight }
+
+// Share returns the SPU's effective division share: the dynamic share
+// set by an entitlement controller, or the static weight when no
+// controller has retuned this SPU. Every entitlement division (CPU
+// homes, memory frames, disk bandwidth) goes through Share, so a
+// controller retune moves all three resources coherently while
+// weight remains the immutable contract the conservation law is
+// stated against.
+func (s *SPU) Share() float64 {
+	if s.share > 0 {
+		return s.share
+	}
+	return s.weight
+}
+
+// SetShare sets the dynamic share. Non-positive values panic: a
+// controller must keep every SPU above its floor, and "back to
+// static" is expressed by ClearShare, not by zero.
+func (s *SPU) SetShare(v float64) {
+	if v <= 0 {
+		panic(fmt.Sprintf("core: SPU %q share set to non-positive %g", s.name, v))
+	}
+	s.share = v
+}
+
+// ClearShare reverts the SPU to its static weight.
+func (s *SPU) ClearShare() { s.share = 0 }
+
+// ShareSet reports whether a dynamic share is in effect.
+func (s *SPU) ShareSet() bool { return s.share > 0 }
 
 // Active reports whether the SPU is active (has or may have processes).
 // Suspended SPUs keep their identity but receive no resource division.

@@ -18,6 +18,7 @@ type TenantLatency struct {
 	SPU      int    `json:"spu"`
 	Count    int64  `json:"count"`
 	Censored int64  `json:"censored"`
+	Shed     int64  `json:"shed,omitempty"`
 	MeanNS   int64  `json:"mean_ns"`
 	P50NS    int64  `json:"p50_ns"`
 	P99NS    int64  `json:"p99_ns"`
@@ -72,7 +73,7 @@ func summarizeLatency(k *kernel.Kernel, config string) (LatencySummary, bool) {
 		}
 		tl := TenantLatency{
 			Name: tr.Name, SPU: int(tr.SPU),
-			Count: h.Count(), Censored: tr.Censored(),
+			Count: h.Count(), Censored: tr.Censored(), Shed: tr.Shed(),
 			MeanNS: h.Mean(),
 			P50NS:  h.Quantile(0.50), P99NS: h.Quantile(0.99),
 			P999NS: h.Quantile(0.999), MaxNS: h.Max(),
@@ -81,8 +82,7 @@ func summarizeLatency(k *kernel.Kernel, config string) (LatencySummary, bool) {
 			tl.SLOThresholdNS = int64(tr.Obj.Threshold)
 			tl.SLOTarget = tr.Obj.Target
 			tl.Attainment = tr.Attainment()
-			bad := float64(h.Count()-tr.Good()) / float64(h.Count())
-			tl.BudgetBurn = bad / (1 - tr.Obj.Target)
+			tl.BudgetBurn = tr.BudgetBurn()
 		}
 		s.Tenants = append(s.Tenants, tl)
 	}

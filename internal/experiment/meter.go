@@ -21,6 +21,9 @@ type Meter struct {
 	// Latency carries one tail-latency summary per kernel that ran
 	// with latency tracking on, in run order (see Meter.observe).
 	Latency []LatencySummary
+	// Controller carries one controller summary per kernel that ran
+	// with the closed loop on, in run order (see Meter.observe).
+	Controller []ControllerSummary
 }
 
 // count folds a finished kernel's engine dispatch total into the meter.

@@ -159,4 +159,7 @@ func (m *Meter) observe(k *kernel.Kernel, config string) {
 	if s, ok := summarizeLatency(k, config); ok {
 		m.Latency = append(m.Latency, s)
 	}
+	if s, ok := summarizeController(k, config); ok {
+		m.Controller = append(m.Controller, s)
+	}
 }

@@ -44,6 +44,10 @@ type Output struct {
 	// percentiles and SLO attainment) for the experiments that run with
 	// latency tracking on.
 	Latency []LatencySummary
+	// Controller holds per-configuration SLO-controller summaries
+	// (retune/shed/breaker totals plus the decision log) for the
+	// experiments that run with the closed loop on.
+	Controller []ControllerSummary
 }
 
 // Rows flattens every section table into machine-readable headline rows
@@ -223,6 +227,22 @@ func Registry() []Spec {
 			},
 		},
 		{
+			ID: "slo-controller", Aliases: []string{"controller", "adaptive"},
+			Title: "Extension: closed-loop SLO entitlement control", Ablation: true,
+			Run: func() Output {
+				r := RunSLOController()
+				return Output{
+					Sections: []Section{
+						{ID: "slo-controller", Table: r.Table()},
+						{ID: "slo-frontier", Table: r.FrontierTable()},
+					},
+					Events: r.Events, Metrics: r.Metrics,
+					Attribution: r.Attribution, Latency: r.Latency,
+					Controller: r.Controller,
+				}
+			},
+		},
+		{
 			ID: "open-arrival", Aliases: []string{"tenants"},
 			Title: "Extension: multi-tenant open-arrival tail latency", Ablation: true,
 			Run: func() Output {
@@ -371,6 +391,9 @@ type BenchExperiment struct {
 	// (per-tenant percentile ladders and SLO attainment) for the
 	// experiments that run with latency tracking on.
 	Latency []LatencySummary `json:"latency,omitempty"`
+	// Controller embeds the per-configuration SLO-controller summaries
+	// for the experiments that run with the closed loop on.
+	Controller []ControllerSummary `json:"controller,omitempty"`
 	// Error is set when the experiment panicked instead of finishing.
 	Error string `json:"error,omitempty"`
 }
@@ -393,6 +416,7 @@ func BenchReport(results []Result, parallel int, short bool, wall time.Duration)
 			Metrics:     r.Output.Metrics,
 			Attribution: r.Output.Attribution,
 			Latency:     r.Output.Latency,
+			Controller:  r.Output.Controller,
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(e.Events) / s

@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 
+	"perfiso/internal/control"
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/lock"
@@ -44,14 +45,8 @@ type Stats struct {
 	Flushes    int64 // flush batches
 	Lookups    int64
 	Retries    int64 // failed disk requests resubmitted with backoff
+	Clamped    int64 // retries throttled to the slow lane (budget spent)
 }
-
-const (
-	// retryBackoff is the initial delay before resubmitting a failed
-	// disk request; it doubles per attempt up to maxRetryBackoff.
-	retryBackoff    = 5 * sim.Millisecond
-	maxRetryBackoff = 80 * sim.Millisecond
-)
 
 // FileSystem is the buffer-cache and file layer over the disks.
 type FileSystem struct {
@@ -98,6 +93,11 @@ type FileSystem struct {
 	// Metrics, when non-nil, receives per-SPU retry and backoff-time
 	// counters for degraded-disk resubmissions. Nil costs nothing.
 	Metrics *metrics.Registry
+	// Retry bounds the degraded-disk resubmission loop (zero fields
+	// take control.DefaultRetryPolicy). Cached file data lives on one
+	// disk, so there is no failover target: once a request's budget is
+	// spent its retries clamp to the policy's slow-lane cadence.
+	Retry control.RetryPolicy
 }
 
 // New creates a file system drawing cache frames from mm.
@@ -177,16 +177,23 @@ func (fs *FileSystem) withInsertLock(spu core.SPUID, f *File, idx int64, fn func
 // submit issues a disk request with graceful degradation: a transfer
 // failed by an injected transient fault is resubmitted with exponential
 // backoff until it succeeds, and only then does the request's original
-// Done callback run. Every fs-originated request goes through here.
+// Done callback run. The backoff runs under a deadline-aware retry
+// budget (control.RetryPolicy): while it lasts the schedule matches the
+// old unbounded loop exactly, and once it is spent the request keeps
+// retrying only at the bounded slow-lane cadence — the data is pinned
+// to its disk, so throttling is the degraded path, and a long fault can
+// no longer turn the cache into a full-rate retry storm. Every
+// fs-originated request goes through here.
 func (fs *FileSystem) submit(d *disk.Disk, r *disk.Request) {
 	inner := r.Done
-	delay := retryBackoff
+	budget := fs.Retry.NewBudget()
 	r.Done = func(rr *disk.Request) {
 		if rr.Failed {
 			fs.Stat.Retries++
-			wait := delay
-			if delay < maxRetryBackoff {
-				delay *= 2
+			wait, degraded := budget.Next()
+			if degraded {
+				fs.Stat.Clamped++
+				fs.Metrics.Counter(metrics.KeyControlClamped, rr.SPU).Inc()
 			}
 			fs.Metrics.Counter(metrics.KeyFSRetries, rr.SPU).Inc()
 			fs.Metrics.Counter(metrics.KeyFSBackoffNS, rr.SPU).AddTime(wait)

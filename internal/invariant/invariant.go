@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"perfiso/internal/control"
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/lock"
@@ -92,6 +93,10 @@ type Targets struct {
 	// exclusion, liveness of queued waiters, revocability of loaned
 	// hold time, and per-SPU ledger conservation.
 	Locks *lock.Table
+	// Control, when non-nil, adds the SLO controller's actuation laws:
+	// share conservation under retune, minimum-guarantee floors, and
+	// the bounded per-tick movement cap.
+	Control *control.Controller
 }
 
 // Auditor runs invariant checks against a machine. In fail-fast mode
@@ -158,6 +163,41 @@ func (a *Auditor) CheckAll(boundary string) {
 		}
 	}
 	a.checkLocks(boundary)
+	a.checkControl(boundary)
+}
+
+// checkControl verifies the SLO controller's actuation laws hold after
+// every tick: a retune redistributes shares, it never changes their
+// sum (conservation — Σ share = Σ weight over active users); no SPU's
+// share falls below its Floor×weight minimum guarantee; and the total
+// share moved by the last tick respects the per-SPU movement bound, so
+// the controller can never slam the machine in one step.
+func (a *Auditor) checkControl(boundary string) {
+	c := a.t.Control
+	if c == nil || a.t.SPUs == nil {
+		return
+	}
+	cfg := c.Config()
+	const eps = 1e-9
+	var shares, weights, maxMove float64
+	for _, u := range a.t.SPUs.ActiveUsers() {
+		shares += u.Share()
+		weights += u.Weight()
+		maxMove += cfg.MaxTickFrac * u.Weight()
+		if floor := cfg.Floor * u.Weight(); u.Share() < floor-eps {
+			a.report("control", u.ID(), boundary,
+				fmt.Errorf("share %g below minimum-guarantee floor %g (weight %g)",
+					u.Share(), floor, u.Weight()))
+		}
+	}
+	if d := shares - weights; d > eps || d < -eps {
+		a.report("control", NoSPU, boundary,
+			fmt.Errorf("retune broke share conservation: Σshare %g != Σweight %g", shares, weights))
+	}
+	if moved := c.LastTickDelta(); moved > maxMove+eps {
+		a.report("control", NoSPU, boundary,
+			fmt.Errorf("tick moved %g share, beyond the %g actuation bound", moved, maxMove))
+	}
 }
 
 // checkLocks runs every registered lock's and gate's conservation

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perfiso/internal/control"
+	"perfiso/internal/core"
+	"perfiso/internal/fault"
+	"perfiso/internal/latency"
+	"perfiso/internal/proc"
+	"perfiso/internal/sim"
+)
+
+// controlledScenario boots a kernel with the closed loop on and a
+// synthetic hot tenant: a tracker fed a steady stream of requests ten
+// times over threshold, so every window burns far past HighBurn and
+// the controller keeps boosting the hot SPU out of the calm one's
+// entitlement. A disk-slow fault trips the circuit breaker mid-run, so
+// the snapshot covers breaker state too. Kernel tests cannot import
+// the workload package (cycle), so the sensor is driven directly.
+func controlledScenario(t *testing.T, extra func(o *Options)) *Kernel {
+	t.Helper()
+	plan, err := fault.ParsePlan("disk-slow:0:300ms:600ms:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		LatencyWindow: 100 * sim.Millisecond,
+		Control:       control.Config{Enabled: true},
+		Faults:        plan,
+		MetricsPeriod: 100 * sim.Millisecond,
+	}
+	if extra != nil {
+		extra(&opts)
+	}
+	k := New(smallMachine(), core.PIso, opts)
+	hot := k.NewSPU("hot", 1)
+	calm := k.NewSPU("calm", 1)
+	k.Boot()
+	tr := k.Latency().Tracker("hot", hot.ID(),
+		latency.SLO{Threshold: 5 * sim.Millisecond, Target: 0.95})
+	k.Engine().Every(20*sim.Millisecond, "test.misses", func() {
+		tr.Record(k.Engine().Now(), 50*sim.Millisecond)
+	})
+	for _, id := range []core.SPUID{hot.ID(), calm.ID()} {
+		k.Spawn(proc.New(k, id, "spin", []proc.Step{
+			proc.Compute{D: 2 * sim.Second},
+		}))
+	}
+	return k
+}
+
+// TestCheckpointMidRetuneDeterministic extends the checkpoint contract
+// to the controller: two independent boots paused at the same instant
+// — after retunes have displaced shares from weights, between ticks,
+// with a breaker tripped — serialise to identical bytes. The share
+// ledger, calm streaks, admission caps, carried burn, and breaker mask
+// are all simulation state; none of it may depend on anything outside
+// the event clock.
+func TestCheckpointMidRetuneDeterministic(t *testing.T) {
+	const at = 1030 * sim.Millisecond // off every tick and window boundary
+	pause := func() ([]byte, *Kernel) {
+		k := controlledScenario(t, nil)
+		k.RunUntil(at)
+		return k.Snapshot(), k
+	}
+	s1, k1 := pause()
+	s2, _ := pause()
+	if st := k1.Controller().Stat; st.Retunes == 0 || st.Boosts == 0 {
+		t.Fatalf("scenario never retuned, checkpoint proves nothing: %+v", st)
+	}
+	hot := k1.SPUs().ActiveUsers()[0]
+	if hot.Share() <= hot.Weight() {
+		t.Fatalf("hot SPU share %g not boosted past weight %g at pause",
+			hot.Share(), hot.Weight())
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("mid-retune checkpoints diverge:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", s1, s2)
+	}
+}
+
+// TestAuditorFlagsSabotagedRetune is the negative control for the
+// controller's invariant laws: a clean closed-loop run collects zero
+// violations, and a sabotaged share ledger — conservation broken by
+// inflating one share, the floor broken by crushing another — is
+// flagged by the very next audit pass. If this test fails, the
+// zero-violations claim in the experiment results is vacuous.
+func TestAuditorFlagsSabotagedRetune(t *testing.T) {
+	k := controlledScenario(t, func(o *Options) { o.AuditCollect = true })
+	k.RunUntil(sim.Second)
+	if vs := k.Auditor().Violations(); len(vs) != 0 {
+		t.Fatalf("clean run collected %d violations, first: %v", len(vs), vs[0])
+	}
+	users := k.SPUs().ActiveUsers()
+	hot, calm := users[0], users[1]
+	hot.SetShare(hot.Share() + 1)       // breaks Σshare = Σweight
+	calm.SetShare(0.01 * calm.Weight()) // breaks the minimum-guarantee floor
+	k.Auditor().CheckAll("sabotage")
+	vs := k.Auditor().Violations()
+	if len(vs) == 0 {
+		t.Fatal("auditor accepted a sabotaged share ledger")
+	}
+	var conservation, floor bool
+	for _, v := range vs {
+		if v.Check != "control" {
+			continue
+		}
+		if strings.Contains(v.Message, "conservation") {
+			conservation = true
+		}
+		if strings.Contains(v.Message, "floor") {
+			floor = true
+		}
+	}
+	if !conservation {
+		t.Errorf("no conservation violation among: %v", vs)
+	}
+	if !floor {
+		t.Errorf("no floor violation among: %v", vs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"perfiso/internal/control"
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/fault"
@@ -137,6 +138,17 @@ type Options struct {
 	// (disk degradation, CPU stragglers/offlining, memory-frame loss)
 	// at boot; see internal/fault.ParsePlan for the spec syntax.
 	Faults *fault.Plan
+	// Control configures the closed-loop SLO entitlement controller
+	// (internal/control). With Control.Enabled the kernel ticks the
+	// controller on the latency-window cadence: it watches per-tenant
+	// SLO burn, retunes SPU shares (CPU homes, memory frames, disk
+	// bandwidth move together), tightens admission caps under overload,
+	// and trips per-disk circuit breakers on injected faults. Off (the
+	// zero value), no share is ever touched and every division is
+	// bit-identical to the static weight-driven kernel. Enabling the
+	// controller implies latency tracking: LatencyWindow defaults to
+	// 500 ms when unset because the controller is blind without it.
+	Control control.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +166,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x5eed
+	}
+	if o.Control.Enabled && o.LatencyWindow <= 0 {
+		o.LatencyWindow = 500 * sim.Millisecond
 	}
 	if o.Horizon <= 0 {
 		o.Horizon = 3600 * sim.Second
@@ -194,6 +209,7 @@ type Kernel struct {
 	auditor  *invariant.Auditor
 	watchdog *invariant.Watchdog
 	locks    *lock.Table
+	ctl      *control.Controller
 }
 
 // New builds (but does not boot) a kernel on the given hardware with
@@ -264,6 +280,11 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 	if opts.LatencyWindow > 0 {
 		k.latreg = latency.NewRegistry(opts.LatencyWindow)
 	}
+	if opts.Control.Enabled {
+		k.ctl = control.New(opts.Control, eng, spus, k.latreg, k.disks, k.applyShares)
+		k.ctl.Trace = k.tracer
+		k.ctl.Metrics = k.metrics
+	}
 	if opts.Profiled {
 		k.profiler = profile.New(eng, opts.ProfileSpanCapacity)
 		for _, d := range k.disks {
@@ -282,6 +303,7 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 			Disks:   k.disks,
 			Profile: k.profiler,
 			Locks:   k.locks,
+			Control: k.ctl,
 		})
 		k.auditor.Collect = opts.AuditCollect
 		k.auditor.Metrics = k.metrics
@@ -397,15 +419,7 @@ func (k *Kernel) Boot() {
 	k.booted = true
 	k.sch.AssignHomes()
 	k.mm.DivideAmongSPUs()
-	for i, d := range k.disks {
-		// Per-disk bandwidth shares: equal weights among the SPUs with
-		// affinity to this disk; harmless default for the rest.
-		for spu, di := range k.affinity {
-			if di == i {
-				d.SetShare(spu, k.spus.Get(spu).Weight())
-			}
-		}
-	}
+	k.applyDiskShares()
 	// The 10 ms tick and the full invariant sweep share one event: the
 	// sweep is read-only and every conservation invariant holds at every
 	// event boundary, so batching it onto the tick halves the dominant
@@ -432,6 +446,10 @@ func (k *Kernel) Boot() {
 		k.registerSeries()
 		k.tickers = append(k.tickers,
 			k.eng.Every(k.metrics.Period(), "kernel.metrics", k.metrics.Sample))
+	}
+	if k.ctl != nil {
+		k.tickers = append(k.tickers,
+			k.eng.Every(k.ctl.Config().Period, "kernel.control", k.ctl.Tick))
 	}
 	if !k.opts.Faults.Empty() {
 		k.injector = fault.NewInjector(k.eng, fault.Machine{
@@ -698,6 +716,64 @@ func (k *Kernel) Rebalance() {
 	k.mm.PolicyTick()
 }
 
+// applyDiskShares pushes every SPU's current share into the per-disk
+// bandwidth schedulers: each disk weighs the SPUs with affinity to it.
+// Share() equals the static weight until the controller retunes, so
+// with the controller off this is the weight-driven division.
+func (k *Kernel) applyDiskShares() {
+	for i, d := range k.disks {
+		for spu, di := range k.affinity {
+			if di == i {
+				d.SetShare(spu, k.spus.Get(spu).Share())
+			}
+		}
+	}
+}
+
+// applyShares is the controller's actuator: after a retune it re-homes
+// CPUs, re-divides memory (loans preserved, reclaim enforcing the new
+// entitlements), and refreshes the disk bandwidth shares — one share
+// value moving all three resources coherently.
+func (k *Kernel) applyShares() {
+	k.Rebalance()
+	k.applyDiskShares()
+}
+
+// Controller returns the SLO feedback controller, or nil when the
+// closed loop is off (Options.Control.Enabled).
+func (k *Kernel) Controller() *control.Controller { return k.ctl }
+
+// AdmitRequest asks admission control whether an arriving request on
+// the SPU may start. Always true when the controller is off; a false
+// return means the request is shed — the caller must record the shed
+// into its latency tracker (censoring-correct accounting) and must not
+// call RequestDone.
+func (k *Kernel) AdmitRequest(spu core.SPUID) bool {
+	if k.ctl == nil {
+		return true
+	}
+	return k.ctl.Admit(spu)
+}
+
+// RequestDone releases an admitted request's in-flight slot. A no-op
+// when the controller is off.
+func (k *Kernel) RequestDone(spu core.SPUID) {
+	if k.ctl != nil {
+		k.ctl.Done(spu)
+	}
+}
+
+// WriteController writes the controller's decision log as
+// deterministic JSONL: one header line with the effective config and
+// totals, then one line per action in decision order. An error when
+// the controller is off.
+func (k *Kernel) WriteController(w io.Writer) error {
+	if k.ctl == nil {
+		return fmt.Errorf("kernel: controller is off (Options.Control.Enabled)")
+	}
+	return control.WriteJSONL(w, k.ctl)
+}
+
 // Spawn registers and starts a process.
 func (k *Kernel) Spawn(p *proc.Process) {
 	if !k.booted {
@@ -798,6 +874,9 @@ func (k *Kernel) Snapshot() []byte {
 		k.injector.Snapshot(enc)
 	}
 	k.locks.Snapshot(enc)
+	if k.ctl != nil {
+		k.ctl.Snapshot(enc)
+	}
 	enc.Section("kernel")
 	enc.Int("live_procs", int64(k.liveProcs))
 	return enc.Bytes()
@@ -824,10 +903,10 @@ func (k *Kernel) pageout(p *mem.Page, done func(ok bool)) {
 	if k.fsys.WritebackEvicted(p, func() { done(true) }) {
 		return
 	}
-	d := k.AffinityDisk(p.SPU)
-	d.Submit(&disk.Request{
+	di := k.swapDisk(p.SPU)
+	k.disks[di].Submit(&disk.Request{
 		Kind:    disk.Write,
-		Sector:  k.swapSlot(p.SPU, mem.SectorsPerPage),
+		Sector:  k.swapSlot(di, mem.SectorsPerPage),
 		Count:   mem.SectorsPerPage,
 		SPU:     core.SharedID,
 		Charges: []disk.Charge{{SPU: p.SPU, Sectors: mem.SectorsPerPage}},
@@ -835,10 +914,27 @@ func (k *Kernel) pageout(p *mem.Page, done func(ok bool)) {
 	})
 }
 
-// swapSlot hands out sectors in the swap region — the top eighth of the
-// SPU's affinity disk — round-robin.
-func (k *Kernel) swapSlot(spu core.SPUID, sectors int64) int64 {
+// swapDisk picks the disk for an SPU's swap traffic: its affinity disk
+// normally, or — when the controller's circuit breaker has that disk
+// open (fault-degraded) — the nearest healthy disk. The swap region is
+// a model, not a persistent placement, so degraded-mode routing moves
+// reads and writes together until the breaker heals.
+func (k *Kernel) swapDisk(spu core.SPUID) int {
 	di := k.affinity[spu]
+	if k.ctl != nil && k.ctl.BreakerOpen(di) {
+		if fb := k.ctl.Fallback(di); fb >= 0 {
+			k.metrics.Counter(metrics.KeyControlFailovers, spu).Inc()
+			k.tracer.Emitf(trace.Control, fmt.Sprintf("spu%d", spu), "swap-failover",
+				"disk%d breaker open, routing swap to disk%d", di, fb)
+			return fb
+		}
+	}
+	return di
+}
+
+// swapSlot hands out sectors in disk di's swap region — the top eighth
+// of the disk — round-robin.
+func (k *Kernel) swapSlot(di int, sectors int64) int64 {
 	d := k.disks[di]
 	total := d.Params().TotalSectors()
 	region := total / 8
@@ -858,7 +954,7 @@ func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
 		done()
 		return
 	}
-	d := k.AffinityDisk(spu)
+	di := k.swapDisk(spu)
 	reqs := (pages + 3) / 4
 	left := reqs
 	for i := 0; i < reqs; i++ {
@@ -867,9 +963,9 @@ func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
 			n = pages - 4*(reqs-1)
 		}
 		count := n * mem.SectorsPerPage
-		k.submitRetry(d, &disk.Request{
+		k.submitRetry(di, &disk.Request{
 			Kind:   disk.Read,
-			Sector: k.swapSlot(spu, int64(count)),
+			Sector: k.swapSlot(di, int64(count)),
 			Count:  count,
 			SPU:    spu,
 			Done: func(*disk.Request) {
@@ -883,32 +979,47 @@ func (k *Kernel) SwapIn(spu core.SPUID, pages int, done func()) {
 }
 
 // submitRetry issues a swap-region disk request, resubmitting transfers
-// failed by an injected fault with exponential backoff. The original
-// Done callback only ever sees a successful request.
-func (k *Kernel) submitRetry(d *disk.Disk, r *disk.Request) {
-	const (
-		base = 5 * sim.Millisecond
-		max  = 80 * sim.Millisecond
-	)
+// failed by an injected fault with exponential backoff under a
+// deadline-aware retry budget (control.RetryPolicy). While the budget
+// lasts the schedule matches the old unbounded loop exactly; once it is
+// spent the request fails over to the circuit breaker's fallback disk
+// (when one is healthy) or keeps retrying only at the bounded slow-lane
+// cadence, so a long fault can no longer turn the swap path into a
+// full-rate retry storm. The original Done callback only ever sees a
+// successful request.
+func (k *Kernel) submitRetry(di int, r *disk.Request) {
+	budget := k.opts.Control.Retry.NewBudget()
 	inner := r.Done
-	delay := base
 	r.Done = func(rr *disk.Request) {
 		if rr.Failed {
-			wait := delay
-			if delay < max {
-				delay *= 2
+			wait, degraded := budget.Next()
+			if degraded {
+				fb := -1
+				if k.ctl != nil {
+					fb = k.ctl.Fallback(di)
+				}
+				if fb >= 0 && fb != di {
+					di = fb
+					k.metrics.Counter(metrics.KeyControlFailovers, rr.SPU).Inc()
+					k.tracer.Emitf(trace.Control, fmt.Sprintf("spu%d", rr.SPU), "swap-failover",
+						"retry budget spent, failing over to disk%d", fb)
+				} else {
+					k.metrics.Counter(metrics.KeyControlClamped, rr.SPU).Inc()
+					k.tracer.Emitf(trace.Control, fmt.Sprintf("spu%d", rr.SPU), "swap-slow-lane",
+						"retry budget spent, no healthy fallback, retrying every %v", wait)
+				}
 			}
 			k.metrics.Counter(metrics.KeySwapRetries, rr.SPU).Inc()
 			k.metrics.Counter(metrics.KeySwapBackoffNS, rr.SPU).AddTime(wait)
 			rr.Backoff += wait // profiled separately from genuine queueing
 			k.tracer.Emitf(trace.Fault, fmt.Sprintf("spu%d", rr.SPU), "swap-retry",
 				"%s of %d sectors failed, retrying in %v", rr.Kind, rr.Count, wait)
-			k.eng.CallAfter(wait, "kernel.swap-retry", func() { d.Submit(rr) })
+			k.eng.CallAfter(wait, "kernel.swap-retry", func() { k.disks[di].Submit(rr) })
 			return
 		}
 		if inner != nil {
 			inner(rr)
 		}
 	}
-	d.Submit(r)
+	k.disks[di].Submit(r)
 }

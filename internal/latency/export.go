@@ -35,6 +35,7 @@ type sloLine struct {
 	ThresholdNS int64   `json:"threshold_ns"`
 	Target      float64 `json:"target"`
 	Good        int64   `json:"good"`
+	Shed        int64   `json:"shed,omitempty"`
 	Attainment  float64 `json:"attainment"`
 	BudgetBurn  float64 `json:"budget_burn"`
 }
@@ -51,6 +52,7 @@ type windowLine struct {
 	P99NS      int64   `json:"p99_ns"`
 	P999NS     int64   `json:"p999_ns"`
 	Good       int64   `json:"good"`
+	Shed       int64   `json:"shed,omitempty"`
 	Attainment float64 `json:"attainment"`
 	BurnRate   float64 `json:"burn"`
 }
@@ -81,11 +83,8 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 			line := sloLine{
 				Type: "slo", Name: t.Name, SPU: int(t.SPU),
 				ThresholdNS: int64(t.Obj.Threshold), Target: t.Obj.Target,
-				Good: t.good, Attainment: t.Attainment(),
-			}
-			if n := h.Count(); n > 0 {
-				bad := float64(n-t.good) / float64(n)
-				line.BudgetBurn = bad / (1 - t.Obj.Target)
+				Good: t.good, Shed: t.shed,
+				Attainment: t.Attainment(), BudgetBurn: t.BudgetBurn(),
 			}
 			if err := enc.Encode(line); err != nil {
 				return err
@@ -99,7 +98,8 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 				EndMS:   float64(ws.End) / float64(sim.Millisecond),
 				Count:   ws.Count,
 				P50NS:   ws.P50, P99NS: ws.P99, P999NS: ws.P999,
-				Good: ws.Good, Attainment: ws.Attainment, BurnRate: ws.BurnRate,
+				Good: ws.Good, Shed: ws.Shed,
+				Attainment: ws.Attainment, BurnRate: ws.BurnRate,
 			}); err != nil {
 				return err
 			}

@@ -1,0 +1,121 @@
+package latency
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"perfiso/internal/core"
+	"perfiso/internal/sim"
+)
+
+// The burn/attainment math is total: every boundary input produces a
+// finite number, never NaN or Inf — the feedback controller polls
+// these every window and a single NaN would poison the share ledger.
+func TestBurnAndAttainmentGuards(t *testing.T) {
+	slo := SLO{Threshold: 10 * sim.Millisecond, Target: 0.99}
+	cases := []struct {
+		name        string
+		s           SLO
+		good, total int64
+		burn        float64
+	}{
+		{"empty window", slo, 0, 0, 0},
+		{"negative total", slo, 0, -1, 0},
+		{"invalid slo", SLO{}, 5, 10, 0},
+		{"target one is invalid", SLO{Threshold: sim.Millisecond, Target: 1}, 5, 10, 0},
+		{"all good", slo, 10, 10, 0},
+		{"all bad", slo, 0, 10, 100},
+		{"shed only", slo, 0, 7, 100},
+	}
+	for _, c := range cases {
+		got := c.s.Burn(c.good, c.total)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: burn is not finite: %v", c.name, got)
+		}
+		if math.Abs(got-c.burn) > 1e-9 {
+			t.Errorf("%s: burn = %v, want %v", c.name, got, c.burn)
+		}
+		at := AttainmentOf(c.good, c.total)
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			t.Errorf("%s: attainment is not finite: %v", c.name, at)
+		}
+	}
+	if at := AttainmentOf(0, 0); at != 0 {
+		t.Errorf("empty attainment = %v, want 0", at)
+	}
+}
+
+// A window that saw only shed requests (admission refused everything)
+// still produces defined, finite stats: sheds are bad observations, so
+// the window burns at full rate — it must never read as calm or NaN.
+func TestShedOnlyWindowStats(t *testing.T) {
+	reg := NewRegistry(500 * sim.Millisecond)
+	tr := reg.Tracker("t", core.SPUID(2), SLO{Threshold: 10 * sim.Millisecond, Target: 0.95})
+	for i := 0; i < 5; i++ {
+		tr.RecordShed(100 * sim.Millisecond)
+	}
+	ws := tr.WindowAt(0)
+	if ws.Count != 0 || ws.Shed != 5 {
+		t.Fatalf("window = %+v, want 0 completions and 5 sheds", ws)
+	}
+	if math.IsNaN(ws.BurnRate) || math.IsNaN(ws.Attainment) {
+		t.Fatalf("shed-only window produced NaN: %+v", ws)
+	}
+	if ws.BurnRate < 1 {
+		t.Fatalf("shed-only window burn = %v; refusing everything must burn the budget", ws.BurnRate)
+	}
+	if ws.Attainment != 0 {
+		t.Fatalf("shed-only window attainment = %v, want 0", ws.Attainment)
+	}
+	if got := tr.Shed(); got != 5 {
+		t.Fatalf("Shed() = %d, want 5", got)
+	}
+}
+
+// WindowAt is defined on any index — the controller polls "last
+// completed window" on a fixed cadence and must get zeros, not a
+// panic or garbage, when a tenant's timeline hasn't reached it.
+func TestWindowAtOutOfRange(t *testing.T) {
+	reg := NewRegistry(500 * sim.Millisecond)
+	tr := reg.Tracker("t", core.SPUID(2), SLO{Threshold: 10 * sim.Millisecond, Target: 0.95})
+	tr.Record(100*sim.Millisecond, sim.Millisecond)
+	for _, idx := range []int{-1, -100, 1, 7, 1 << 20} {
+		ws := tr.WindowAt(idx)
+		if ws.Count != 0 || ws.Good != 0 || ws.Shed != 0 {
+			t.Errorf("WindowAt(%d) = %+v, want empty", idx, ws)
+		}
+		if math.IsNaN(ws.BurnRate) || math.IsNaN(ws.Attainment) {
+			t.Errorf("WindowAt(%d) produced NaN", idx)
+		}
+	}
+	var nilTr *Tracker
+	if ws := nilTr.WindowAt(3); ws.Count != 0 {
+		t.Error("nil tracker WindowAt not empty")
+	}
+}
+
+// No NaN ever reaches the exported artifact, even from degenerate
+// trackers: shed-only windows, empty trackers, censored-only tails.
+func TestExportNeverEmitsNaN(t *testing.T) {
+	reg := NewRegistry(500 * sim.Millisecond)
+	slo := SLO{Threshold: 10 * sim.Millisecond, Target: 0.99}
+	shedOnly := reg.Tracker("shed-only", core.SPUID(2), slo)
+	for i := 0; i < 3; i++ {
+		shedOnly.RecordShed(sim.Millisecond)
+	}
+	reg.Tracker("empty", core.SPUID(3), slo)
+	censored := reg.Tracker("censored", core.SPUID(4), slo)
+	censored.RecordCensored(sim.Millisecond, 100*sim.Millisecond)
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf", "null"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("export contains %q:\n%s", bad, out)
+		}
+	}
+}

@@ -24,12 +24,38 @@ type SLO struct {
 // Valid reports whether the SLO names a real objective.
 func (s SLO) Valid() bool { return s.Threshold > 0 && s.Target > 0 && s.Target < 1 }
 
+// Burn returns the error-budget burn rate for good observations out of
+// total: (bad fraction)/(allowed bad fraction), so 1.0 burns the budget
+// exactly as fast as the objective allows. It is total — defined for
+// every input: an invalid SLO or an empty window (total <= 0) burns
+// nothing. Every exported burn value funnels through here so no slo or
+// window line can ever carry a NaN.
+func (s SLO) Burn(good, total int64) float64 {
+	if !s.Valid() || total <= 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / (1 - s.Target)
+}
+
+// AttainmentOf returns the percentage of total observations that were
+// good, guarded the same way as Burn: 0 when total <= 0.
+func AttainmentOf(good, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(good) / float64(total)
+}
+
 // win is one sim-clock window of a tracker's timeline. Good counts
 // observations at or under the SLO threshold — counted exactly at
-// record time, never re-derived from buckets.
+// record time, never re-derived from buckets. Shed counts requests the
+// admission controller refused in this window; they have no latency
+// but are bad observations for SLO accounting.
 type win struct {
 	h    *Histogram
 	good int64
+	shed int64
 }
 
 // Tracker accumulates one stream's latencies: a run-total histogram, a
@@ -45,6 +71,7 @@ type Tracker struct {
 	total    *Histogram
 	good     int64 // exact count of observations within Obj.Threshold
 	censored int64 // observations that were in-flight at measurement end
+	shed     int64 // requests refused by admission control (no latency)
 	wins     []win
 }
 
@@ -71,8 +98,21 @@ func (t *Tracker) RecordCensored(at sim.Time, elapsed sim.Time) {
 	t.record(at, int64(elapsed))
 }
 
-func (t *Tracker) record(at sim.Time, v int64) {
-	t.total.Record(v)
+// RecordShed folds one request refused by admission control at
+// sim-time at. A shed request never got a latency, but hiding it would
+// let a load-shedding scheme look better than it is: sheds count in
+// the denominator of attainment and burn, never as good.
+func (t *Tracker) RecordShed(at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.shed++
+	t.window(at).shed++
+}
+
+// window returns the window containing sim-time at, growing the
+// timeline as needed.
+func (t *Tracker) window(at sim.Time) *win {
 	idx := int(at / t.width)
 	if idx < 0 {
 		idx = 0
@@ -80,7 +120,12 @@ func (t *Tracker) record(at sim.Time, v int64) {
 	for len(t.wins) <= idx {
 		t.wins = append(t.wins, win{})
 	}
-	w := &t.wins[idx]
+	return &t.wins[idx]
+}
+
+func (t *Tracker) record(at sim.Time, v int64) {
+	t.total.Record(v)
+	w := t.window(at)
 	if w.h == nil {
 		w.h = NewWithPrecision(WindowPrecision)
 	}
@@ -126,13 +171,40 @@ func (t *Tracker) Good() int64 {
 	return t.good
 }
 
-// Attainment returns the fraction of observations meeting the SLO, in
-// percent (0 when no SLO or no observations).
-func (t *Tracker) Attainment() float64 {
-	if t == nil || !t.Obj.Valid() || t.total.Count() == 0 {
+// Shed returns how many requests admission control refused.
+func (t *Tracker) Shed() int64 {
+	if t == nil {
 		return 0
 	}
-	return 100 * float64(t.good) / float64(t.total.Count())
+	return t.shed
+}
+
+// Observed returns the SLO-accounting denominator: recorded
+// observations (censored included) plus shed requests.
+func (t *Tracker) Observed() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Count() + t.shed
+}
+
+// Attainment returns the fraction of observations meeting the SLO, in
+// percent (0 when no SLO or no observations). Shed requests count
+// against it.
+func (t *Tracker) Attainment() float64 {
+	if t == nil || !t.Obj.Valid() {
+		return 0
+	}
+	return AttainmentOf(t.good, t.Observed())
+}
+
+// BudgetBurn returns the run-total error-budget burn rate, guarded
+// against empty trackers (0, never NaN).
+func (t *Tracker) BudgetBurn() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.Obj.Burn(t.good, t.Observed())
 }
 
 // WindowStat is one window of a tracker's percentile timeline.
@@ -144,15 +216,54 @@ type WindowStat struct {
 	P99        int64 // ns
 	P999       int64 // ns
 	Good       int64
+	Shed       int64 // admission-refused requests in this window
 	// Attainment is the window's SLO attainment in percent; BurnRate is
 	// the window's error-budget burn: (bad fraction)/(allowed bad
 	// fraction), so 1.0 burns the budget exactly as fast as the SLO
-	// allows. Both 0 when the tracker has no SLO.
+	// allows. Both 0 when the tracker has no SLO, and both guarded
+	// (never NaN) on empty windows.
 	Attainment float64
 	BurnRate   float64
 }
 
+// Width returns the timeline window width.
+func (t *Tracker) Width() sim.Time {
+	if t == nil {
+		return 0
+	}
+	return t.width
+}
+
+// windowStat builds the exported stats for window i. The burn and
+// attainment math funnels through SLO.Burn/AttainmentOf, so boundary
+// windows — no samples at all, or sheds with no completions — yield
+// defined zeros rather than NaN.
+func (t *Tracker) windowStat(i int) WindowStat {
+	w := &t.wins[i]
+	ws := WindowStat{
+		Index: i,
+		Start: sim.Time(i) * t.width,
+		End:   sim.Time(i+1) * t.width,
+		Shed:  w.shed,
+		Good:  w.good,
+	}
+	if w.h != nil {
+		ws.Count = w.h.Count()
+		if ws.Count > 0 {
+			ws.P50 = w.h.Quantile(0.50)
+			ws.P99 = w.h.Quantile(0.99)
+			ws.P999 = w.h.Quantile(0.999)
+		}
+	}
+	if t.Obj.Valid() {
+		ws.Attainment = AttainmentOf(ws.Good, ws.Count+ws.Shed)
+		ws.BurnRate = t.Obj.Burn(ws.Good, ws.Count+ws.Shed)
+	}
+	return ws
+}
+
 // Windows returns the non-empty windows of the timeline in time order.
+// A window counts as non-empty when it saw completions or sheds.
 func (t *Tracker) Windows() []WindowStat {
 	if t == nil {
 		return nil
@@ -160,27 +271,29 @@ func (t *Tracker) Windows() []WindowStat {
 	var out []WindowStat
 	for i := range t.wins {
 		w := &t.wins[i]
-		if w.h == nil || w.h.Count() == 0 {
+		if (w.h == nil || w.h.Count() == 0) && w.shed == 0 {
 			continue
 		}
-		ws := WindowStat{
-			Index: i,
-			Start: sim.Time(i) * t.width,
-			End:   sim.Time(i+1) * t.width,
-			Count: w.h.Count(),
-			P50:   w.h.Quantile(0.50),
-			P99:   w.h.Quantile(0.99),
-			P999:  w.h.Quantile(0.999),
-			Good:  w.good,
-		}
-		if t.Obj.Valid() {
-			bad := float64(ws.Count-ws.Good) / float64(ws.Count)
-			ws.Attainment = 100 * (1 - bad)
-			ws.BurnRate = bad / (1 - t.Obj.Target)
-		}
-		out = append(out, ws)
+		out = append(out, t.windowStat(i))
 	}
 	return out
+}
+
+// WindowAt returns the stats for window idx, whether or not anything
+// landed in it — an empty or out-of-range window reads as zero
+// observations with zero burn. This is the feedback controller's view:
+// it polls the last complete window every tick and must get a defined
+// answer when a tenant had no traffic.
+func (t *Tracker) WindowAt(idx int) WindowStat {
+	if t == nil || idx < 0 || idx >= len(t.wins) {
+		ws := WindowStat{Index: idx}
+		if idx >= 0 && t != nil {
+			ws.Start = sim.Time(idx) * t.width
+			ws.End = sim.Time(idx+1) * t.width
+		}
+		return ws
+	}
+	return t.windowStat(idx)
 }
 
 // Merge folds another tracker's observations into t (totals, windows,
@@ -193,20 +306,25 @@ func (t *Tracker) Merge(o *Tracker) {
 	t.total.Merge(o.total)
 	t.good += o.good
 	t.censored += o.censored
+	t.shed += o.shed
 	for len(t.wins) < len(o.wins) {
 		t.wins = append(t.wins, win{})
 	}
 	for i := range o.wins {
 		ow := &o.wins[i]
-		if ow.h == nil {
+		if ow.h == nil && ow.shed == 0 {
 			continue
 		}
 		w := &t.wins[i]
+		w.good += ow.good
+		w.shed += ow.shed
+		if ow.h == nil {
+			continue
+		}
 		if w.h == nil {
 			w.h = NewWithPrecision(WindowPrecision)
 		}
 		w.h.Merge(ow.h)
-		w.good += ow.good
 	}
 }
 

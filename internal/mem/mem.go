@@ -18,6 +18,7 @@ package mem
 import (
 	"fmt"
 
+	"perfiso/internal/control"
 	"perfiso/internal/core"
 	"perfiso/internal/lock"
 	"perfiso/internal/metrics"
@@ -116,6 +117,7 @@ type Stats struct {
 	Evictions      int64
 	DirtyWrites    int64
 	PageoutRetries int64 // failed pageout writes retried with backoff
+	PageoutClamped int64 // pageout retries throttled to the slow lane (budget spent)
 	Retags         int64 // pages re-tagged to the shared SPU
 	FreePages      stats.TimeWeighted
 	WaitQueueLen   stats.TimeWeighted
@@ -152,6 +154,10 @@ type Manager struct {
 	// Metrics, when non-nil, receives per-SPU reclaim, dirty-write, and
 	// pageout-retry counters. Nil costs nothing.
 	Metrics *metrics.Registry
+	// Retry bounds the failed-pageout resubmission loop (zero fields
+	// take control.DefaultRetryPolicy): exponential backoff while the
+	// budget lasts, slow-lane cadence after.
+	Retry control.RetryPolicy
 	// AuditHook, when non-nil, runs after loan revocations, policy
 	// ticks, and fault-driven frame-count changes so the invariant
 	// auditor can check frame conservation at every sharing boundary.

@@ -5,7 +5,6 @@ import (
 
 	"perfiso/internal/core"
 	"perfiso/internal/metrics"
-	"perfiso/internal/sim"
 	"perfiso/internal/trace"
 )
 
@@ -229,28 +228,29 @@ func (m *Manager) evictVictim(victim, dirtyVictim *Page) bool {
 		m.unlink(victim)
 		m.inFlight++
 		// Retry failed write-backs (degraded disk) with exponential
-		// backoff: the frame stays in flight — charged and unusable —
-		// until the data really is on stable storage.
-		const (
-			pageoutBackoff    = 5 * sim.Millisecond
-			maxPageoutBackoff = 80 * sim.Millisecond
-		)
-		delay := pageoutBackoff
+		// backoff under a deadline-aware budget: the frame stays in
+		// flight — charged and unusable — until the data really is on
+		// stable storage, but once the budget is spent the retries
+		// throttle to the slow-lane cadence so a long disk fault cannot
+		// turn reclaim into a full-rate retry storm. (The pageout hook
+		// itself reroutes swap writes around breaker-open disks.)
+		budget := m.Retry.NewBudget()
 		var onDone func(ok bool)
 		onDone = func(ok bool) {
 			if !ok {
 				m.Stat.PageoutRetries++
+				wait, degraded := budget.Next()
+				if degraded {
+					m.Stat.PageoutClamped++
+					m.Metrics.Counter(metrics.KeyControlClamped, victim.SPU).Inc()
+				}
 				m.Metrics.Counter(metrics.KeyMemPageoutRetries, victim.SPU).Inc()
-				m.Metrics.Counter(metrics.KeyMemBackoffNS, victim.SPU).AddTime(delay)
+				m.Metrics.Counter(metrics.KeyMemBackoffNS, victim.SPU).AddTime(wait)
 				if m.Trace != nil {
 					m.Trace.Emitf(trace.Mem, fmt.Sprintf("spu%d", victim.SPU), "pageout-retry",
-						"write-back failed, retrying in %v", delay)
+						"write-back failed, retrying in %v", wait)
 				}
-				d := delay
-				if delay < maxPageoutBackoff {
-					delay *= 2
-				}
-				m.eng.CallAfter(d, "mem.pageout-retry", func() { m.pageout(victim, onDone) })
+				m.eng.CallAfter(wait, "mem.pageout-retry", func() { m.pageout(victim, onDone) })
 				return
 			}
 			m.inFlight--

@@ -82,6 +82,15 @@ const (
 	KeyInvariantChecks     = "invariant.checks"
 	KeyInvariantViolations = "invariant.violations"
 
+	// SLO-controller counters (see internal/control).
+	KeyControlRetunes   = "control.retunes"   // ticks that moved at least one share
+	KeyControlBoosts    = "control.boosts"    // per-SPU share increases granted
+	KeyControlReleases  = "control.releases"  // per-SPU share give-backs/donations
+	KeyControlShed      = "control.shed"      // per-SPU admission-refused requests
+	KeyControlBreaker   = "control.breaker"   // circuit-breaker trips (per disk heals not counted)
+	KeyControlFailovers = "control.failovers" // requests rerouted to a fallback disk
+	KeyControlClamped   = "control.clamped"   // retries clamped to the slow lane after budget exhaustion
+
 	// Machine-wide gauges, read at export time.
 	KeyMemFree         = "mem.free"
 	KeyDiskWaitMean    = "disk.wait_mean_s"
@@ -99,6 +108,8 @@ var Keys = []string{
 	KeyFSRetries, KeyFSBackoffNS, KeySwapRetries, KeySwapBackoffNS,
 	KeyFaultInjected, KeyFaultReverted,
 	KeyInvariantChecks, KeyInvariantViolations,
+	KeyControlRetunes, KeyControlBoosts, KeyControlReleases, KeyControlShed,
+	KeyControlBreaker, KeyControlFailovers, KeyControlClamped,
 	KeyMemFree, KeyDiskWaitMean, KeyDiskServiceMean,
 }
 

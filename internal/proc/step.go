@@ -112,12 +112,22 @@ func (s Touch) run(p *Process) {
 	p.ensureResident(p.nextFn)
 }
 
-// Fork starts a child process and continues immediately.
+// Fork starts a child process and continues immediately. When If is
+// non-nil and returns false at fork time, the child is skipped — the
+// runtime decision point admission control needs, since open-arrival
+// step programs are built before the run and cannot know the load at
+// each arrival instant. A skipped child never starts, never counts as
+// a live child, and owes no WaitChildren.
 type Fork struct {
 	Child *Process
+	If    func() bool
 }
 
 func (s Fork) run(p *Process) {
+	if s.If != nil && !s.If() {
+		p.next()
+		return
+	}
 	s.Child.parent = p
 	p.liveChildren++
 	s.Child.Start()

@@ -239,7 +239,7 @@ func (s *Scheduler) AssignHomes() {
 	if len(online) == 0 {
 		return
 	}
-	tw := s.spus.TotalWeight()
+	tw := s.spus.TotalShare()
 	n := len(online)
 	next := 0
 	type claim struct {
@@ -248,7 +248,7 @@ func (s *Scheduler) AssignHomes() {
 	}
 	var claims []claim
 	for _, u := range users {
-		exact := float64(n) * u.Weight() / tw
+		exact := float64(n) * u.Share() / tw
 		whole := int(exact)
 		for i := 0; i < whole && next < n; i++ {
 			online[next].home = u.ID()

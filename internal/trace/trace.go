@@ -21,14 +21,15 @@ import (
 type Kind int
 
 const (
-	Sched  Kind = iota // CPU scheduling: dispatch, loan, revoke
-	Mem                // memory: eviction, lending, revocation
-	Disk               // disk: fairness denials, policy decisions
-	FS                 // file system: flushes, lock contention
-	Proc               // process lifecycle
-	Policy             // periodic policy ticks
-	Fault              // injected faults and their recovery
-	Audit              // invariant auditor violations and watchdog trips
+	Sched   Kind = iota // CPU scheduling: dispatch, loan, revoke
+	Mem                 // memory: eviction, lending, revocation
+	Disk                // disk: fairness denials, policy decisions
+	FS                  // file system: flushes, lock contention
+	Proc                // process lifecycle
+	Policy              // periodic policy ticks
+	Fault               // injected faults and their recovery
+	Audit               // invariant auditor violations and watchdog trips
+	Control             // SLO controller: retunes, shedding, circuit breaker
 	NumKinds
 )
 
@@ -51,6 +52,8 @@ func (k Kind) String() string {
 		return "fault"
 	case Audit:
 		return "audit"
+	case Control:
+		return "control"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -41,7 +41,13 @@ type ServerJob struct {
 	Root     *proc.Process
 	handlers []*proc.Process
 	tracker  *latency.Tracker
+	shed     int
 }
+
+// Shed returns how many arrivals admission control refused. Shed
+// requests never start, so they are excluded from Pending/InFlight
+// censoring — their SLO cost is carried by the tracker's shed count.
+func (j *ServerJob) Shed() int { return j.shed }
 
 // Completed returns how many request handlers have exited.
 func (j *ServerJob) Completed() int {
@@ -66,8 +72,9 @@ func (j *ServerJob) InFlight() int {
 	return n
 }
 
-// Pending returns how many request handlers have not started yet (the
-// dispatcher never reached their arrival).
+// Pending returns how many request handlers have not started yet
+// because the dispatcher never reached their arrival. Shed handlers
+// also never start but are counted by Shed, not here.
 func (j *ServerJob) Pending() int {
 	n := 0
 	for _, h := range j.handlers {
@@ -75,7 +82,7 @@ func (j *ServerJob) Pending() int {
 			n++
 		}
 	}
-	return n
+	return n - j.shed
 }
 
 // Latencies returns a sample of per-request latencies in seconds,

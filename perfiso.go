@@ -33,6 +33,7 @@ package perfiso
 import (
 	"io"
 
+	"perfiso/internal/control"
 	"perfiso/internal/core"
 	"perfiso/internal/disk"
 	"perfiso/internal/experiment"
@@ -89,6 +90,14 @@ type (
 	// LatencySLO is a latency objective: a threshold and the fraction
 	// of requests that must meet it.
 	LatencySLO = latency.SLO
+	// ControlConfig tunes the closed-loop SLO entitlement controller;
+	// assign one with Enabled to Options.Control to turn static
+	// entitlements adaptive (requires Options.LatencyWindow for the
+	// burn-rate sensor).
+	ControlConfig = control.Config
+	// ControlStats counts controller activity (retunes, boosts, sheds,
+	// breaker trips) after a run.
+	ControlStats = control.Stats
 )
 
 // Arrival patterns for OpenServerParams.
@@ -155,6 +164,9 @@ var (
 	// TenantSet is the four-tenant mix the open-arrival experiment and
 	// the pisosim "tenants" workload share.
 	TenantSet = workload.TenantSet
+	// DiurnalTenantSet is the phase-shifted diurnal tenant mix the
+	// slo-controller experiment drives through the closed loop.
+	DiurnalTenantSet = workload.DiurnalTenantSet
 )
 
 // System is one booted simulated machine plus its workloads.
@@ -311,6 +323,13 @@ func (s *System) WriteChromeTrace(w io.Writer) error { return s.k.WriteChromeTra
 // windowed percentile timeline. Enable collection with
 // Options.LatencyWindow; an error when latency tracking is off.
 func (s *System) WriteLatency(w io.Writer) error { return s.k.WriteLatency(w) }
+
+// WriteController writes the closed-loop controller's decision log as
+// deterministic JSONL: one header line with the effective config and
+// activity totals, then one line per retune, shed-cap, or breaker
+// action in decision order. Enable the loop with Options.Control; an
+// error when it is off.
+func (s *System) WriteController(w io.Writer) error { return s.k.WriteController(w) }
 
 // WriteProfile writes the run's simulated-time profile as a gzipped
 // pprof protobuf: one sample per (SPU, resource, state) bucket with the
