@@ -9,25 +9,39 @@
 // any -parallel level).
 //
 // With -perf it instead measures the event core's throughput per
-// registry scenario (events/sec, ns/event, allocs/event) and can gate
-// against a committed baseline; -eventq flips every engine the run
-// builds onto the binary-heap fallback for differential testing.
+// registry scenario (events/sec, ns/event, allocs/event, rep-to-rep CV)
+// and can gate against a committed baseline; -perf-trajectory appends
+// the run to the append-only perf history (BENCH_trajectory.jsonl) and
+// -perf-history renders that history as a trend report. -eventq flips
+// every engine the run builds onto the binary-heap fallback for
+// differential testing.
+//
+// With -simobs it turns the measurement discipline on the simulator
+// itself: every registry scenario runs under the self-observability
+// collector (internal/simobs) and prints its event census, calendar-
+// queue internals, sampled host-time attribution, and the parallelism-
+// feasibility report; -simobs-jsonl and -simobs-pprof write the machine
+// artifacts (the pprof one opens with `go tool pprof`).
 //
 // Usage:
 //
 //	pisobench [-short] [-markdown] [-only ID] [-parallel N] [-json PATH] [-metrics PATH] [-latency PATH] [-controller PATH] [-eventq calendar|heap]
-//	pisobench -perf [-perf-scenarios IDS] [-perf-reps N] [-perf-baseline PATH] [-perf-gate FRAC] [-json PATH]
-//	pisobench -diff OLD.json NEW.json
+//	pisobench -perf [-perf-scenarios IDS] [-perf-reps N] [-perf-baseline PATH] [-perf-gate FRAC] [-perf-trajectory PATH] [-json PATH]
+//	pisobench -perf-history BENCH_trajectory.jsonl
+//	pisobench -simobs [-simobs-scenarios IDS] [-simobs-jsonl PATH] [-simobs-pprof PATH]
+//	pisobench -diff OLD.json NEW.json   (bench, perf, or trajectory files)
 //	pisobench -soak [-soak-runs N] [-soak-seed S] [-soak-case K] [-soak-faults SPEC]
 //	pisobench -list
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
@@ -35,6 +49,7 @@ import (
 	"perfiso/internal/experiment"
 	"perfiso/internal/fault"
 	"perfiso/internal/sim"
+	"perfiso/internal/simobs"
 	"perfiso/internal/soak"
 	"perfiso/internal/stats"
 )
@@ -61,6 +76,12 @@ type config struct {
 	perfOnly    string
 	perfBase    string
 	perfGate    float64
+	perfTraj    string
+	perfHistory string
+	simobs      bool
+	simobsOnly  string
+	simobsJSONL string
+	simobsPprof string
 	soak        bool
 	soakRuns    int
 	soakSeed    uint64
@@ -88,6 +109,12 @@ func main() {
 	flag.StringVar(&cfg.perfOnly, "perf-scenarios", "", "perf: comma-separated scenario ids (default: full registry)")
 	flag.StringVar(&cfg.perfBase, "perf-baseline", "", "perf: prior BENCH_perf.json to annotate speedups against")
 	flag.Float64Var(&cfg.perfGate, "perf-gate", 0, "perf: fail if any scenario's ns/event regresses past baseline by this fraction (0.15 = 15%)")
+	flag.StringVar(&cfg.perfTraj, "perf-trajectory", "", "perf: append this run to the append-only trajectory JSONL at this path")
+	flag.StringVar(&cfg.perfHistory, "perf-history", "", "render the perf trajectory at this path as a trend report and exit")
+	flag.BoolVar(&cfg.simobs, "simobs", false, "run registry scenarios under the simulator self-observability collector and print the reports")
+	flag.StringVar(&cfg.simobsOnly, "simobs-scenarios", "", "simobs: comma-separated scenario ids (default: full registry)")
+	flag.StringVar(&cfg.simobsJSONL, "simobs-jsonl", "", "simobs: write the telemetry artifact (JSONL) to this path")
+	flag.StringVar(&cfg.simobsPprof, "simobs-pprof", "", "simobs: write the host-time attribution profile (gzipped pprof) to this path")
 	flag.BoolVar(&cfg.soak, "soak", false, "run the chaos-soak harness instead of the evaluation suite")
 	flag.IntVar(&cfg.soakRuns, "soak-runs", 16, "soak: number of generated cases to run")
 	flag.Uint64Var(&cfg.soakSeed, "soak-seed", 1, "soak: sweep seed; every case derives from it deterministically")
@@ -173,10 +200,100 @@ func runPerf(cfg config, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if cfg.perfTraj != "" {
+		pts := experiment.TrajectoryPoints(rep, gitCommit(), time.Now().Format("2006-01-02"))
+		if err := experiment.AppendTrajectory(cfg.perfTraj, pts); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	for _, f := range failures {
 		fmt.Fprintf(stderr, "PERF REGRESSION %s\n", f)
 	}
 	if len(failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// gitCommit stamps trajectory points with the short hash of HEAD, or
+// "unknown" when the binary runs outside a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runPerfHistory dispatches -perf-history: read the append-only
+// trajectory JSONL and render the per-scenario trend report.
+func runPerfHistory(cfg config, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfg.perfHistory)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pts, err := experiment.ReadTrajectory(data)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprint(stdout, experiment.HistoryReport(pts))
+	return 0
+}
+
+// runSimObs dispatches -simobs: run the selected registry scenarios
+// sequentially under the self-observability collector, print each
+// scenario's telemetry report plus the cross-scenario feasibility
+// table, and write the machine artifacts when asked.
+func runSimObs(cfg config, stdout, stderr io.Writer) int {
+	var ids []string
+	if cfg.simobsOnly != "" {
+		ids = strings.Split(cfg.simobsOnly, ",")
+	}
+	results, err := experiment.RunSimObs(ids, simobs.Config{})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	failed := 0
+	var reports []*simobs.Report
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(stderr, "FAILED %s: %v\n", r.Spec.ID, r.Err)
+			continue
+		}
+		fmt.Fprintln(stdout, r.Report.String())
+		reports = append(reports, r.Report)
+	}
+	fmt.Fprintln(stdout, experiment.FeasibilityTable(results))
+	if cfg.simobsJSONL != "" {
+		var buf strings.Builder
+		for _, rep := range reports {
+			if err := rep.WriteJSONL(&buf); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		if err := os.WriteFile(cfg.simobsJSONL, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.simobsPprof != "" {
+		var buf bytes.Buffer
+		if err := simobs.WritePprofAll(&buf, reports); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.simobsPprof, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if failed > 0 {
 		return 1
 	}
 	return 0
@@ -230,8 +347,14 @@ func run(cfg config, stdout, stderr io.Writer) int {
 	if cfg.soak {
 		return runSoak(cfg, stdout, stderr)
 	}
+	if cfg.perfHistory != "" {
+		return runPerfHistory(cfg, stdout, stderr)
+	}
 	if cfg.perf {
 		return runPerf(cfg, stdout, stderr)
+	}
+	if cfg.simobs {
+		return runSimObs(cfg, stdout, stderr)
 	}
 	if cfg.diff {
 		return runDiff(cfg, stdout, stderr)

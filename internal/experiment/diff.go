@@ -9,14 +9,27 @@ import (
 )
 
 // Diff compares two pisobench JSON reports and renders a textual
-// comparison. Both evaluation reports (pisobench -json) and perf
-// baselines (pisobench -perf -json) are accepted; the kind is sniffed
-// from the "suite" field and the two files must agree. The diff is
+// comparison. Evaluation reports (pisobench -json), perf baselines
+// (pisobench -perf -json), and perf trajectories (BENCH_trajectory.jsonl)
+// are all accepted; the kind is sniffed — "suite" field for reports,
+// per-line "type" for trajectories — and the two files must agree. The diff is
 // report-only — it never declares a regression, it shows what moved so
 // the reader can. Deterministic quantities (simulation events, table
 // cells, latency percentiles) only move when behavior changed;
 // wall-clock rates move run to run and are labelled as such.
 func Diff(oldData, newData []byte, oldName, newName string) (string, error) {
+	// Trajectory files are JSONL, not single JSON objects: sniff them
+	// first (by their per-line "type" discriminator) and route to the
+	// trend comparison.
+	if IsTrajectory(oldData) || IsTrajectory(newData) {
+		if !IsTrajectory(oldData) {
+			return "", fmt.Errorf("cannot diff %s (pisobench report) against %s (trajectory)", oldName, newName)
+		}
+		if !IsTrajectory(newData) {
+			return "", fmt.Errorf("cannot diff %s (trajectory) against %s (pisobench report)", oldName, newName)
+		}
+		return DiffTrajectory(oldData, newData, oldName, newName)
+	}
 	oldSuite, err := sniffSuite(oldData, oldName)
 	if err != nil {
 		return "", err

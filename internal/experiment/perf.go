@@ -2,10 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
+
+	"perfiso/internal/sim"
 )
 
 // PerfScenario is one experiment's entry in a PerfReport: how fast the
@@ -20,6 +23,15 @@ type PerfScenario struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// NsPerEventCV is the coefficient of variation of ns/event across
+	// the timed reps (stddev/mean): the measurement-stability signal.
+	// Best-of-reps timing with a CV above UnstableCV should be treated
+	// as noise, not as a real speedup or regression.
+	NsPerEventCV float64 `json:"ns_per_event_cv,omitempty"`
+	// Queue is the merged event-queue telemetry from the warmup rep
+	// (deterministic: counters, not timings). Absent in reports written
+	// before the telemetry existed.
+	Queue *PerfQueueStats `json:"queue,omitempty"`
 	// BaselineNsPerEvent and Speedup are filled in when the report is
 	// compared against a prior report (pisobench -perf-baseline):
 	// Speedup is baseline ns/event over current ns/event, so >1 means
@@ -28,24 +40,51 @@ type PerfScenario struct {
 	Speedup            float64 `json:"speedup,omitempty"`
 }
 
+// PerfQueueStats is the deterministic event-queue telemetry carried in
+// perf reports and trajectory points: enough to see the calendar's
+// behavior change over time without storing full occupancy histograms.
+type PerfQueueStats struct {
+	Kind          string  `json:"kind"`
+	Pushes        uint64  `json:"pushes"`
+	Collisions    uint64  `json:"collisions"`
+	CollisionRate float64 `json:"collision_rate"`
+	Rebuilds      uint64  `json:"rebuilds"`
+	Grows         uint64  `json:"grows"`
+	Shrinks       uint64  `json:"shrinks"`
+	MaxDepth      int     `json:"max_depth"`
+}
+
+// UnstableCV is the rep-to-rep coefficient of variation above which a
+// perf measurement is flagged as unstable in reports and gates.
+const UnstableCV = 0.10
+
 // PerfReport is the machine-readable perf baseline pisobench -perf
 // writes (BENCH_perf.json). Scenario order is registry order, and every
 // non-timing field is deterministic, so two reports from the same build
 // diff cleanly on everything but the measured rates.
 type PerfReport struct {
-	Suite      string         `json:"suite"`
-	EventQueue string         `json:"event_queue"`
-	Reps       int            `json:"reps"`
-	Baseline   string         `json:"baseline,omitempty"`
-	Scenarios  []PerfScenario `json:"scenarios"`
+	Suite      string `json:"suite"`
+	EventQueue string `json:"event_queue"`
+	Reps       int    `json:"reps"`
+	// Warmup records that each scenario ran one untimed warmup rep
+	// before the timed reps (always true for reports from this version;
+	// false in older committed baselines).
+	Warmup    bool           `json:"warmup,omitempty"`
+	Baseline  string         `json:"baseline,omitempty"`
+	Scenarios []PerfScenario `json:"scenarios"`
 }
 
 // RunPerf measures the event-core throughput of the named registry
-// scenarios (all of them when ids is empty). Each scenario runs reps
-// times back to back on one goroutine; the fastest rep supplies the
-// timing and the smallest rep supplies allocs/event, so one GC or
-// scheduler hiccup cannot poison the baseline. Allocation counts come
-// from runtime.MemStats.Mallocs deltas around the run, which is exact
+// scenarios (all of them when ids is empty). Each scenario first runs
+// one untimed warmup rep — it heats code and allocator caches so the
+// first timed rep is not systematically slow, and doubles as the
+// collection pass for the deterministic event-queue telemetry — then
+// reps timed runs back to back on one goroutine. The fastest rep
+// supplies the timing and the smallest rep supplies allocs/event, so
+// one GC or scheduler hiccup cannot poison the baseline; the rep-to-rep
+// CV of ns/event is recorded so an unstable measurement is flagged
+// rather than silently trusted. Allocation counts come from
+// runtime.MemStats.Mallocs deltas around the run, which is exact
 // because nothing else runs concurrently.
 func RunPerf(ids []string, reps int) (PerfReport, error) {
 	if reps < 1 {
@@ -64,9 +103,27 @@ func RunPerf(ids []string, reps int) (PerfReport, error) {
 		}
 		specs = picked
 	}
-	rep := PerfReport{Suite: "pisobench-perf", Reps: reps}
+	rep := PerfReport{Suite: "pisobench-perf", Reps: reps, Warmup: true}
 	for _, s := range specs {
+		// Warmup rep, untimed. The engine hook lets us snapshot the
+		// always-on queue counters of every engine the scenario builds;
+		// it attaches no observer, so the event population is identical
+		// to the timed reps.
+		var engines []*sim.Engine
+		prevHook := sim.SetEngineHook(func(e *sim.Engine) { engines = append(engines, e) })
+		warm := s.Run()
+		sim.SetEngineHook(prevHook)
+		if warm.Events == 0 {
+			return PerfReport{}, fmt.Errorf("scenario %s dispatched zero events", s.ID)
+		}
+		var qs sim.QueueStats
+		for _, e := range engines {
+			qs.Merge(e.QueueStats())
+		}
+		engines = nil
+
 		var best PerfScenario
+		nsReps := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
 			var m0, m1 runtime.MemStats
 			runtime.GC()
@@ -76,12 +133,9 @@ func RunPerf(ids []string, reps int) (PerfReport, error) {
 			wall := time.Since(start)
 			runtime.ReadMemStats(&m1)
 			allocs := m1.Mallocs - m0.Mallocs
-			if out.Events == 0 {
-				return PerfReport{}, fmt.Errorf("scenario %s dispatched zero events", s.ID)
-			}
-			if r > 0 && out.Events != best.Events {
+			if out.Events != warm.Events {
 				return PerfReport{}, fmt.Errorf("scenario %s is nondeterministic: %d events then %d",
-					s.ID, best.Events, out.Events)
+					s.ID, warm.Events, out.Events)
 			}
 			cur := PerfScenario{
 				ID:             s.ID,
@@ -91,6 +145,7 @@ func RunPerf(ids []string, reps int) (PerfReport, error) {
 				EventsPerSec:   float64(out.Events) / wall.Seconds(),
 				AllocsPerEvent: float64(allocs) / float64(out.Events),
 			}
+			nsReps = append(nsReps, cur.NsPerEvent)
 			if r == 0 {
 				best = cur
 			} else {
@@ -104,9 +159,54 @@ func RunPerf(ids []string, reps int) (PerfReport, error) {
 				}
 			}
 		}
+		best.NsPerEventCV = coefVar(nsReps)
+		best.Queue = &PerfQueueStats{
+			Kind:          qs.Kind,
+			Pushes:        qs.Pushes,
+			Collisions:    qs.Collisions,
+			CollisionRate: qs.CollisionRate(),
+			Rebuilds:      qs.Rebuilds,
+			Grows:         qs.Grows,
+			Shrinks:       qs.Shrinks,
+			MaxDepth:      qs.MaxDepth,
+		}
 		rep.Scenarios = append(rep.Scenarios, best)
 	}
 	return rep, nil
+}
+
+// coefVar is the sample coefficient of variation (stddev/mean); zero
+// for fewer than two samples.
+func coefVar(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss/float64(len(xs)-1)) / mean
+}
+
+// Unstable lists the scenarios whose rep-to-rep CV exceeds UnstableCV —
+// measurements that should not be trusted as evidence of a speedup or
+// regression.
+func (r PerfReport) Unstable() []string {
+	var out []string
+	for _, s := range r.Scenarios {
+		if s.NsPerEventCV > UnstableCV {
+			out = append(out, fmt.Sprintf("%s (cv %.0f%%)", s.ID, 100*s.NsPerEventCV))
+		}
+	}
+	return out
 }
 
 // Compare annotates the report with a prior report's ns/event numbers
@@ -140,15 +240,17 @@ func (r *PerfReport) Compare(baseline PerfReport, gate float64) []string {
 }
 
 // String renders the report as a compact fixed-width text table.
+// Scenarios whose rep-to-rep variance exceeds UnstableCV are marked
+// "unstable" — their best-of-reps number is noise-limited.
 func (r PerfReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-22s %10s %12s %10s %14s", "scenario", "events", "events/sec", "ns/event", "allocs/event")
+	fmt.Fprintf(&b, "%-22s %10s %12s %10s %14s %6s", "scenario", "events", "events/sec", "ns/event", "allocs/event", "cv%")
 	if r.Baseline != "" {
 		fmt.Fprintf(&b, " %9s", "speedup")
 	}
 	b.WriteByte('\n')
 	for _, s := range r.Scenarios {
-		fmt.Fprintf(&b, "%-22s %10d %12.0f %10.1f %14.3f", s.ID, s.Events, s.EventsPerSec, s.NsPerEvent, s.AllocsPerEvent)
+		fmt.Fprintf(&b, "%-22s %10d %12.0f %10.1f %14.3f %6.1f", s.ID, s.Events, s.EventsPerSec, s.NsPerEvent, s.AllocsPerEvent, 100*s.NsPerEventCV)
 		if r.Baseline != "" {
 			if s.Speedup > 0 {
 				fmt.Fprintf(&b, " %8.2fx", s.Speedup)
@@ -156,7 +258,14 @@ func (r PerfReport) String() string {
 				fmt.Fprintf(&b, " %9s", "-")
 			}
 		}
+		if s.NsPerEventCV > UnstableCV {
+			b.WriteString("  unstable")
+		}
 		b.WriteByte('\n')
+	}
+	if unstable := r.Unstable(); len(unstable) > 0 {
+		fmt.Fprintf(&b, "warning: unstable timing (cv > %.0f%%): %s\n",
+			100*UnstableCV, strings.Join(unstable, ", "))
 	}
 	return b.String()
 }

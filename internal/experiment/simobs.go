@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"perfiso/internal/simobs"
+	"perfiso/internal/stats"
+)
+
+// SimObsResult is one registry scenario run under the simulator
+// self-observability collector: the experiment's normal output plus the
+// telemetry report built from every engine it constructed.
+type SimObsResult struct {
+	Spec   Spec
+	Output Output
+	Report *simobs.Report
+	Err    error
+}
+
+// RunSimObs executes the named registry scenarios (all of them when ids
+// is empty) with the simobs collector installed, so every engine each
+// experiment builds is observed. Scenarios run sequentially — the
+// collector hook is process-wide — and the experiments' own tables are
+// byte-identical to an unobserved run (the observer is read-only with
+// respect to simulated time; a test enforces this).
+func RunSimObs(ids []string, cfg simobs.Config) ([]SimObsResult, error) {
+	specs := Registry()
+	if len(ids) > 0 {
+		picked := make([]Spec, 0, len(ids))
+		for _, id := range ids {
+			s, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("unknown simobs scenario %q; known ids: %s",
+					id, strings.Join(IDs(), ", "))
+			}
+			picked = append(picked, s)
+		}
+		specs = picked
+	}
+	results := make([]SimObsResult, 0, len(specs))
+	for _, s := range specs {
+		col := simobs.Collect(cfg)
+		out, err := runSpec(s)
+		rep := col.Finish(s.ID)
+		results = append(results, SimObsResult{Spec: s, Output: out, Report: rep, Err: err})
+	}
+	return results, nil
+}
+
+// FeasibilityTable condenses the parallelism-feasibility numbers of
+// several observed scenarios into one table: how many resource domains
+// each scenario touches, what fraction of its event chains cross a
+// domain boundary, and the available lookahead — the per-scenario
+// answer to "is conservative parallel simulation worth building, and at
+// what window size".
+func FeasibilityTable(results []SimObsResult) *stats.Table {
+	t := stats.NewTable("parallelism feasibility",
+		"scenario", "events", "domains", "cross%", "mean la us", "min la us")
+	for _, r := range results {
+		if r.Report == nil {
+			continue
+		}
+		rep := r.Report
+		t.Addf(rep.Scenario,
+			fmt.Sprintf("%d", rep.Events),
+			len(rep.Domains),
+			100*rep.CrossFraction(),
+			rep.MeanLookahead().Microseconds(),
+			rep.MinLookahead().Microseconds())
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"perfiso/internal/simobs"
+)
+
+// renderTables renders every section table of an output, the byte-exact
+// artifact the on/off identity guarantee covers.
+func renderTables(out Output) string {
+	var b strings.Builder
+	for _, s := range out.Sections {
+		b.WriteString(s.Table.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSimObsTablesByteIdentical is the satellite guarantee: running a
+// registry scenario under the simobs collector produces byte-identical
+// result tables to a dark run. The observer must be read-only with
+// respect to simulated time — any divergence means telemetry leaked
+// into simulation behavior.
+func TestSimObsTablesByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig5", "tab3", "lock-leak"} {
+		spec, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		dark := renderTables(spec.Run())
+		results, err := RunSimObs([]string{id}, simobs.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Err != nil {
+			t.Fatalf("%s under simobs: %v", id, results[0].Err)
+		}
+		observed := renderTables(results[0].Output)
+		if dark != observed {
+			t.Fatalf("%s tables differ with simobs on:\n--- dark ---\n%s\n--- observed ---\n%s", id, dark, observed)
+		}
+	}
+}
+
+// TestRunSimObsReport checks the collected report carries the three
+// telemetry families for a real registry scenario and that the
+// feasibility table row is complete.
+func TestRunSimObsReport(t *testing.T) {
+	results, err := RunSimObs([]string{"fig5"}, simobs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := results[0].Report
+	if rep == nil || rep.Events == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Engines == 0 {
+		t.Fatal("no engines observed")
+	}
+	if len(rep.Classes) == 0 || rep.Queue.Pushes == 0 {
+		t.Fatalf("missing census or queue telemetry: classes=%d pushes=%d",
+			len(rep.Classes), rep.Queue.Pushes)
+	}
+	// fig5 runs disk I/O on a multi-disk machine: per-disk domains and
+	// cross-domain edges must appear.
+	if len(rep.Domains) < 2 {
+		t.Fatalf("domains = %v, want per-disk split", rep.Domains)
+	}
+	if rep.Cross == 0 || rep.MeanLookahead() <= 0 {
+		t.Fatalf("feasibility numbers empty: cross=%d meanLA=%v", rep.Cross, rep.MeanLookahead())
+	}
+	ft := FeasibilityTable(results).String()
+	for _, want := range []string{"fig5", "cross%", "mean la us"} {
+		if !strings.Contains(ft, want) {
+			t.Fatalf("feasibility table missing %q:\n%s", want, ft)
+		}
+	}
+	// The collector must be uninstalled after RunSimObs.
+	spec, _ := Lookup("fig5")
+	out := spec.Run()
+	if out.Events == 0 {
+		t.Fatal("post-collection run broken")
+	}
+}
+
+// TestRunSimObsUnknownID checks the error path names known ids.
+func TestRunSimObsUnknownID(t *testing.T) {
+	_, err := RunSimObs([]string{"nope"}, simobs.Config{})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}

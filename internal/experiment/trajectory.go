@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfiso/internal/stats"
+)
+
+// The perf trajectory (BENCH_trajectory.jsonl) is the append-only
+// history of event-core performance: one JSONL line per scenario per
+// `pisobench -perf` run, stamped with the commit it measured. Committed
+// baselines (BENCH_perf.json) answer "did this change regress?"; the
+// trajectory answers "how has the simulator's speed evolved across the
+// whole project?" — the ROADMAP item 3 progress record.
+
+// TrajectoryPoint is one scenario measurement at one commit. Every line
+// carries Type "trajectory" so readers (and pisobench -diff) can sniff
+// the file format from its first line.
+type TrajectoryPoint struct {
+	Type           string          `json:"type"`
+	Commit         string          `json:"commit"`
+	Date           string          `json:"date,omitempty"` // YYYY-MM-DD
+	EventQueue     string          `json:"event_queue,omitempty"`
+	Scenario       string          `json:"scenario"`
+	Events         uint64          `json:"events"`
+	NsPerEvent     float64         `json:"ns_per_event"`
+	AllocsPerEvent float64         `json:"allocs_per_event"`
+	NsPerEventCV   float64         `json:"ns_per_event_cv,omitempty"`
+	Queue          *PerfQueueStats `json:"queue,omitempty"`
+}
+
+// TrajectoryPoints flattens a perf report into trajectory lines, one
+// per scenario, stamped with the given commit and date.
+func TrajectoryPoints(rep PerfReport, commit, date string) []TrajectoryPoint {
+	pts := make([]TrajectoryPoint, 0, len(rep.Scenarios))
+	for _, s := range rep.Scenarios {
+		pts = append(pts, TrajectoryPoint{
+			Type:           "trajectory",
+			Commit:         commit,
+			Date:           date,
+			EventQueue:     rep.EventQueue,
+			Scenario:       s.ID,
+			Events:         s.Events,
+			NsPerEvent:     s.NsPerEvent,
+			AllocsPerEvent: s.AllocsPerEvent,
+			NsPerEventCV:   s.NsPerEventCV,
+			Queue:          s.Queue,
+		})
+	}
+	return pts
+}
+
+// AppendTrajectory appends the points to the JSONL file at path,
+// creating it if absent. Append-only by construction: existing lines
+// are never rewritten, so the history survives concurrent tooling and
+// bad runs alike (a wrong line is corrected by appending a better one
+// at a later commit).
+func AppendTrajectory(path string, pts []TrajectoryPoint) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range pts {
+		if p.Type == "" {
+			p.Type = "trajectory"
+		}
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ReadTrajectory parses a trajectory JSONL blob, skipping blank lines.
+func ReadTrajectory(data []byte) ([]TrajectoryPoint, error) {
+	var pts []TrajectoryPoint
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var p TrajectoryPoint
+		if err := json.Unmarshal(line, &p); err != nil {
+			return nil, fmt.Errorf("trajectory line %d: %v", lineNo, err)
+		}
+		if p.Type != "trajectory" {
+			return nil, fmt.Errorf("trajectory line %d: type %q, want \"trajectory\"", lineNo, p.Type)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// IsTrajectory sniffs whether a blob is a trajectory JSONL file: its
+// first non-blank line is a JSON object with type "trajectory".
+func IsTrajectory(data []byte) bool {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var p struct {
+			Type string `json:"type"`
+		}
+		return json.Unmarshal(line, &p) == nil && p.Type == "trajectory"
+	}
+	return false
+}
+
+// HistoryReport renders the trajectory as one trend block per scenario,
+// in first-appearance order: commit, date, ns/event with a bar scaled
+// to the scenario's own worst point, and the delta against the previous
+// point. CV-flagged (unstable) points are marked so a noisy CI runner
+// doesn't read as a regression.
+func HistoryReport(pts []TrajectoryPoint) string {
+	if len(pts) == 0 {
+		return "perf trajectory: empty\n"
+	}
+	order := []string{}
+	byScenario := map[string][]TrajectoryPoint{}
+	for _, p := range pts {
+		if _, ok := byScenario[p.Scenario]; !ok {
+			order = append(order, p.Scenario)
+		}
+		byScenario[p.Scenario] = append(byScenario[p.Scenario], p)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf trajectory: %d points, %d scenarios\n", len(pts), len(order))
+	for _, id := range order {
+		series := byScenario[id]
+		worst := 0.0
+		for _, p := range series {
+			if p.NsPerEvent > worst {
+				worst = p.NsPerEvent
+			}
+		}
+		first, last := series[0].NsPerEvent, series[len(series)-1].NsPerEvent
+		fmt.Fprintf(&b, "\n%s  (%d points, overall %s)\n", id, len(series), trendWord(first, last))
+		for i, p := range series {
+			bar := ""
+			if worst > 0 {
+				n := int(30 * p.NsPerEvent / worst)
+				if n < 1 && p.NsPerEvent > 0 {
+					n = 1
+				}
+				bar = strings.Repeat("#", n)
+			}
+			delta := ""
+			if i > 0 {
+				delta = "  " + pctDelta(series[i-1].NsPerEvent, p.NsPerEvent)
+			}
+			note := ""
+			if p.NsPerEventCV > UnstableCV {
+				note = "  unstable"
+			}
+			date := p.Date
+			if date == "" {
+				date = "-"
+			}
+			fmt.Fprintf(&b, "  %-10s %-10s %8.1f ns/ev %-30s%s%s\n",
+				p.Commit, date, p.NsPerEvent, bar, delta, note)
+		}
+	}
+	return b.String()
+}
+
+func trendWord(first, last float64) string {
+	switch {
+	case first <= 0:
+		return "n/a"
+	case last < first*0.98:
+		return fmt.Sprintf("%.2fx faster", first/last)
+	case last > first*1.02:
+		return fmt.Sprintf("%.2fx slower", last/first)
+	default:
+		return "flat"
+	}
+}
+
+// DiffTrajectory compares two trajectory files by their latest point
+// per scenario — the non-gating trend report pisobench -diff prints for
+// JSONL inputs.
+func DiffTrajectory(oldData, newData []byte, oldName, newName string) (string, error) {
+	op, err := ReadTrajectory(oldData)
+	if err != nil {
+		return "", fmt.Errorf("%s: %v", oldName, err)
+	}
+	np, err := ReadTrajectory(newData)
+	if err != nil {
+		return "", fmt.Errorf("%s: %v", newName, err)
+	}
+	latest := func(pts []TrajectoryPoint) (map[string]TrajectoryPoint, []string) {
+		m := map[string]TrajectoryPoint{}
+		var order []string
+		for _, p := range pts {
+			if _, ok := m[p.Scenario]; !ok {
+				order = append(order, p.Scenario)
+			}
+			m[p.Scenario] = p
+		}
+		return m, order
+	}
+	om, _ := latest(op)
+	nm, norder := latest(np)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf trajectory diff: %s (%d points) -> %s (%d points)\n\n",
+		oldName, len(op), newName, len(np))
+	t := stats.NewTable("Latest point per scenario (ns/event is measured; not a gate)",
+		"Scenario", "Old commit", "New commit", "Old ns/ev", "New ns/ev", "Δ")
+	for _, id := range norder {
+		n := nm[id]
+		o, ok := om[id]
+		if !ok {
+			fmt.Fprintf(&b, "added scenario: %s (%.1f ns/ev at %s)\n", id, n.NsPerEvent, n.Commit)
+			continue
+		}
+		t.Addf(id, o.Commit, n.Commit, o.NsPerEvent, n.NsPerEvent,
+			pctDelta(o.NsPerEvent, n.NsPerEvent))
+	}
+	for id := range om {
+		if _, ok := nm[id]; !ok {
+			fmt.Fprintf(&b, "removed scenario: %s\n", id)
+		}
+	}
+	fmt.Fprintf(&b, "\n%s", t)
+	return b.String(), nil
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func samplePoints() []TrajectoryPoint {
+	return []TrajectoryPoint{
+		{Type: "trajectory", Commit: "aaaa111", Date: "2026-07-01", Scenario: "pmake8", Events: 100, NsPerEvent: 2000, AllocsPerEvent: 0.5},
+		{Type: "trajectory", Commit: "aaaa111", Date: "2026-07-01", Scenario: "fig5", Events: 200, NsPerEvent: 1800, AllocsPerEvent: 0.4},
+		{Type: "trajectory", Commit: "bbbb222", Date: "2026-08-01", Scenario: "pmake8", Events: 100, NsPerEvent: 1500, AllocsPerEvent: 0.2},
+		{Type: "trajectory", Commit: "bbbb222", Date: "2026-08-01", Scenario: "fig5", Events: 200, NsPerEvent: 1900, AllocsPerEvent: 0.4, NsPerEventCV: 0.25},
+	}
+}
+
+func TestTrajectoryAppendRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	pts := samplePoints()
+	if err := AppendTrajectory(path, pts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Second append must preserve the first lines (append-only).
+	if err := AppendTrajectory(path, pts[2:]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTrajectory(data) {
+		t.Fatal("written file does not sniff as trajectory")
+	}
+	got, err := ReadTrajectory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("read %d points, want 4", len(got))
+	}
+	for i, p := range got {
+		if p.Commit != pts[i].Commit || p.Scenario != pts[i].Scenario || p.NsPerEvent != pts[i].NsPerEvent {
+			t.Fatalf("point %d = %+v, want %+v", i, p, pts[i])
+		}
+	}
+}
+
+func TestTrajectoryPointsFromReport(t *testing.T) {
+	rep := PerfReport{
+		Suite: "pisobench-perf", EventQueue: "calendar",
+		Scenarios: []PerfScenario{
+			{ID: "pmake8", Events: 42, NsPerEvent: 1000, AllocsPerEvent: 0.1, NsPerEventCV: 0.02,
+				Queue: &PerfQueueStats{Kind: "calendar", Pushes: 99}},
+		},
+	}
+	pts := TrajectoryPoints(rep, "cafe123", "2026-08-08")
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p := pts[0]
+	if p.Type != "trajectory" || p.Commit != "cafe123" || p.Date != "2026-08-08" ||
+		p.EventQueue != "calendar" || p.Scenario != "pmake8" || p.Events != 42 ||
+		p.Queue == nil || p.Queue.Pushes != 99 {
+		t.Fatalf("point = %+v", p)
+	}
+}
+
+func TestHistoryReport(t *testing.T) {
+	s := HistoryReport(samplePoints())
+	for _, want := range []string{"pmake8", "fig5", "aaaa111", "bbbb222", "faster", "unstable"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("history report missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "2 scenarios") {
+		t.Fatalf("header wrong:\n%s", s)
+	}
+	if got := HistoryReport(nil); !strings.Contains(got, "empty") {
+		t.Fatalf("empty report = %q", got)
+	}
+}
+
+func TestDiffTrajectory(t *testing.T) {
+	pts := samplePoints()
+	old := encodeLines(t, pts[:2])
+	new_ := encodeLines(t, pts)
+	out, err := DiffTrajectory(old, new_, "old.jsonl", "new.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latest old point for pmake8 is aaaa111 (2000), latest new is
+	// bbbb222 (1500): a -25% move.
+	for _, want := range []string{"pmake8", "aaaa111", "bbbb222", "-25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trajectory diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffRoutesTrajectory checks the generic Diff entry point sniffs
+// JSONL trajectories, and refuses to mix them with JSON reports.
+func TestDiffRoutesTrajectory(t *testing.T) {
+	pts := samplePoints()
+	a, b := encodeLines(t, pts[:2]), encodeLines(t, pts)
+	out, err := Diff(a, b, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perf trajectory diff") {
+		t.Fatalf("Diff did not route to trajectory:\n%s", out)
+	}
+	if _, err := Diff(a, []byte(`{"suite":"pisobench"}`), "a", "b"); err == nil ||
+		!strings.Contains(err.Error(), "trajectory") {
+		t.Fatalf("mixed diff err = %v", err)
+	}
+}
+
+func encodeLines(t *testing.T, pts []TrajectoryPoint) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := AppendTrajectory(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPerfWarmupAndCV runs a tiny perf measurement and checks the new
+// stability and queue-telemetry fields are populated.
+func TestPerfWarmupAndCV(t *testing.T) {
+	rep, err := RunPerf([]string{"fig5"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Warmup {
+		t.Fatal("report does not record the warmup rep")
+	}
+	s := rep.Scenarios[0]
+	if s.Queue == nil || s.Queue.Pushes == 0 || s.Queue.Kind == "" {
+		t.Fatalf("queue telemetry missing: %+v", s.Queue)
+	}
+	if s.NsPerEventCV < 0 {
+		t.Fatalf("cv = %v", s.NsPerEventCV)
+	}
+	if s.Events == 0 || s.NsPerEvent <= 0 {
+		t.Fatalf("scenario = %+v", s)
+	}
+	// The table must render the cv column.
+	if !strings.Contains(rep.String(), "cv%") {
+		t.Fatalf("report table missing cv column:\n%s", rep.String())
+	}
+}
+
+func TestCoefVar(t *testing.T) {
+	if cv := coefVar(nil); cv != 0 {
+		t.Fatalf("cv(nil) = %v", cv)
+	}
+	if cv := coefVar([]float64{5}); cv != 0 {
+		t.Fatalf("cv(one) = %v", cv)
+	}
+	if cv := coefVar([]float64{10, 10, 10}); cv != 0 {
+		t.Fatalf("cv(const) = %v", cv)
+	}
+	cv := coefVar([]float64{90, 100, 110})
+	if cv < 0.09 || cv > 0.11 {
+		t.Fatalf("cv = %v, want ~0.1", cv)
+	}
+	rep := PerfReport{Scenarios: []PerfScenario{
+		{ID: "a", NsPerEventCV: 0.02},
+		{ID: "b", NsPerEventCV: 0.5},
+	}}
+	unstable := rep.Unstable()
+	if len(unstable) != 1 || !strings.Contains(unstable[0], "b") {
+		t.Fatalf("unstable = %v", unstable)
+	}
+}

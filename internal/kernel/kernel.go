@@ -24,6 +24,7 @@ import (
 	"perfiso/internal/profile"
 	"perfiso/internal/sched"
 	"perfiso/internal/sim"
+	"perfiso/internal/simobs"
 	"perfiso/internal/snap"
 	"perfiso/internal/stats"
 	"perfiso/internal/trace"
@@ -138,6 +139,14 @@ type Options struct {
 	// (disk degradation, CPU stragglers/offlining, memory-frame loss)
 	// at boot; see internal/fault.ParsePlan for the spec syntax.
 	Faults *fault.Plan
+	// SimObs attaches the simulator self-observability layer
+	// (internal/simobs) to this kernel's engine: an event-class census,
+	// calendar-queue telemetry, sampled host-time attribution, and the
+	// per-domain causality counters behind the parallelism-feasibility
+	// report. Off (the default) the engine pays one nil check per
+	// schedule and per dispatch and the results are byte-identical; see
+	// Kernel.SimObsReport for reading the data back.
+	SimObs bool
 	// Control configures the closed-loop SLO entitlement controller
 	// (internal/control). With Control.Enabled the kernel ticks the
 	// controller on the latency-window cadence: it watches per-tenant
@@ -218,6 +227,11 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 	cfg.Validate()
 	opts = opts.withDefaults()
 	eng := sim.NewEngine()
+	if opts.SimObs {
+		// AttachObs is a no-op if a process-wide collector hook (see
+		// simobs.Collect) already attached an observer at NewEngine time.
+		eng.AttachObs(simobs.Config{}.ObsConfig())
+	}
 	spus := core.NewManager()
 	k := &Kernel{
 		eng:      eng,
@@ -260,8 +274,13 @@ func New(cfg machine.Config, scheme core.Scheme, opts Options) *Kernel {
 	k.locks.AddLocks(func() []*lock.Lock { return k.fsys.PageInsertLocks().Locks() })
 	k.locks.AddGates(k.sch.RunqLock.Gates)
 	k.locks.AddGates(k.mm.FrameLock.Gates)
-	for _, dp := range cfg.Disks {
+	for i, dp := range cfg.Disks {
 		d := disk.New(eng, dp, k.diskScheduler(), opts.DiskHalfLife)
+		// Per-disk completion-event names ("disk0.complete") give each
+		// disk its own resource domain in simulator telemetry. Set
+		// unconditionally so runs are byte-identical with and without an
+		// observer attached.
+		d.SetLabel(fmt.Sprintf("disk%d", i))
 		d.Merge = opts.DiskMerge
 		k.disks = append(k.disks, d)
 		k.allocs = append(k.allocs, fs.NewAllocator(d, k.rng.Fork()))
@@ -423,9 +442,15 @@ func (k *Kernel) Boot() {
 	// The 10 ms tick and the full invariant sweep share one event: the
 	// sweep is read-only and every conservation invariant holds at every
 	// event boundary, so batching it onto the tick halves the dominant
-	// periodic event count without changing simulation results.
+	// periodic event count without changing simulation results. When the
+	// engine carries an observer the sweep instead gets its own
+	// same-period ticker (created right after the tick's, so FIFO seq
+	// order keeps it firing immediately after the tick at each instant):
+	// the audit cost then shows up under its own "auditor.sweep" class in
+	// host-time attribution instead of hiding inside kernel.tick.
+	observed := k.eng.Obs() != nil
 	tick := k.sch.Tick
-	if k.auditor != nil {
+	if k.auditor != nil && !observed {
 		a := k.auditor
 		tick = func() {
 			k.sch.Tick()
@@ -433,7 +458,13 @@ func (k *Kernel) Boot() {
 		}
 	}
 	k.tickers = append(k.tickers,
-		k.eng.Every(sched.TickPeriod, "kernel.tick", tick),
+		k.eng.Every(sched.TickPeriod, "kernel.tick", tick))
+	if k.auditor != nil && observed {
+		a := k.auditor
+		k.tickers = append(k.tickers,
+			k.eng.Every(sched.TickPeriod, "auditor.sweep", func() { a.CheckAll("tick") }))
+	}
+	k.tickers = append(k.tickers,
 		k.eng.Every(k.opts.PolicyPeriod, "kernel.mempolicy", k.mm.PolicyTick),
 		k.eng.Every(k.opts.FlushPeriod, "kernel.bdflush", k.fsys.FlushTick),
 	)
@@ -880,6 +911,16 @@ func (k *Kernel) Snapshot() []byte {
 	enc.Section("kernel")
 	enc.Int("live_procs", int64(k.liveProcs))
 	return enc.Bytes()
+}
+
+// SimObsReport merges this kernel's engine telemetry into a simulator
+// self-observability report, or returns nil when Options.SimObs was off
+// and no collector attached an observer.
+func (k *Kernel) SimObsReport(scenario string) *simobs.Report {
+	if k.eng.Obs() == nil {
+		return nil
+	}
+	return simobs.Build(scenario, k.eng)
 }
 
 // Auditor returns the invariant auditor, or nil when disabled.

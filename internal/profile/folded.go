@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// FoldedSample is one folded-stack sample for WriteFoldedPprof: a stack
+// given root-first (as in Brendan Gregg's folded format) and a value in
+// the profile's unit.
+type FoldedSample struct {
+	Stack []string
+	Value int64
+}
+
+// WriteFoldedPprof writes an arbitrary folded-stack profile as a gzipped
+// pprof protobuf, using the same hand-rolled encoder as the interference
+// profile so the repo stays protobuf-free. The simulator self-profiler
+// (internal/simobs) uses it to emit host-time attribution profiles that
+// `go tool pprof` can render. Output is deterministic for a given sample
+// slice: time_nanos stays zero and strings intern in traversal order.
+func WriteFoldedPprof(w io.Writer, sampleType, unit string, samples []FoldedSample) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(encodeFoldedPprof(sampleType, unit, samples)); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+func encodeFoldedPprof(sampleType, unit string, samples []FoldedSample) []byte {
+	e := &pprofEncoder{strings: map[string]int64{"": 0}, order: []string{""}, frames: map[string]uint64{}}
+
+	var out protoBuf
+	var vt protoBuf
+	vt.int64Field(vtType, e.str(sampleType))
+	vt.int64Field(vtUnit, e.str(unit))
+	out.bytesField(profSampleType, vt.b)
+	out.bytesField(profPeriodType, vt.b)
+	out.int64Field(profPeriod, 1)
+
+	for _, sm := range samples {
+		if len(sm.Stack) == 0 {
+			continue
+		}
+		// pprof wants locations leaf-first.
+		ids := make([]uint64, 0, len(sm.Stack))
+		for i := len(sm.Stack) - 1; i >= 0; i-- {
+			ids = append(ids, e.frame(sm.Stack[i]))
+		}
+		var s protoBuf
+		s.packedUint64Field(sampleLocationID, ids)
+		s.packedInt64Field(sampleValue, []int64{sm.Value})
+		out.bytesField(profSample, s.b)
+	}
+
+	for i, name := range e.frameOrder {
+		id := uint64(i + 1)
+		var ln protoBuf
+		ln.uint64Field(lineFunctionID, id)
+		var loc protoBuf
+		loc.uint64Field(locID, id)
+		loc.bytesField(locLine, ln.b)
+		out.bytesField(profLocation, loc.b)
+		var fn protoBuf
+		fn.uint64Field(fnID, id)
+		fn.int64Field(fnName, e.str(name))
+		out.bytesField(profFunction, fn.b)
+	}
+	for _, s := range e.order {
+		out.stringField(profStringTab, s)
+	}
+	return out.b
+}

@@ -27,6 +27,16 @@ type calQueue struct {
 	gapEWMA Time
 	lastPop Time
 	popped  bool
+
+	// Telemetry (ISSUE 10): plain counters bumped on the hot paths —
+	// integer increments, no allocation, no branches beyond what push
+	// already does — plus a width log appended only on (rare) rebuilds.
+	pushes     uint64
+	collisions uint64
+	rebuilds   uint64
+	grows      uint64
+	shrinks    uint64
+	widthLog   []WidthChange
 }
 
 const (
@@ -88,6 +98,10 @@ func (c *calQueue) push(ev *Event) {
 	}
 	slot := day & c.mask
 	b := c.buckets[slot]
+	c.pushes++
+	if len(b) > c.heads[slot] {
+		c.collisions++
+	}
 	// Fast path: arrivals are overwhelmingly in (at, seq) order, so the
 	// new event usually belongs at the tail.
 	if len(b) == 0 || !eventLess(ev, b[len(b)-1]) {
@@ -202,9 +216,20 @@ func (c *calQueue) scanMin() *Event {
 	return best
 }
 
+// calWidthLogCap bounds the width log so a pathological grow/shrink
+// oscillation cannot hoard memory; the counters keep exact totals.
+const calWidthLogCap = 256
+
 // rebuild resizes the calendar to nb buckets, re-deriving the bucket
 // width from the observed pop-gap EWMA, and redistributes every event.
 func (c *calQueue) rebuild(nb int) {
+	c.rebuilds++
+	switch {
+	case nb > len(c.buckets):
+		c.grows++
+	case nb < len(c.buckets):
+		c.shrinks++
+	}
 	old := c.buckets
 	oldHeads := c.heads
 	w := c.gapEWMA * calWidthGapFactor
@@ -234,4 +259,38 @@ func (c *calQueue) rebuild(nb int) {
 		}
 	}
 	c.n = n
+	if len(c.widthLog) < calWidthLogCap {
+		c.widthLog = append(c.widthLog, WidthChange{Width: c.width, Buckets: nb, Events: n})
+	}
+}
+
+// stats snapshots the calendar's telemetry, computing the live-bucket
+// occupancy histogram by walking the bucket array at call time (so the
+// hot paths never pay for it).
+func (c *calQueue) stats() QueueStats {
+	s := QueueStats{
+		Kind:       QueueCalendar.String(),
+		Len:        c.n,
+		Buckets:    len(c.buckets),
+		Width:      c.width,
+		Pushes:     c.pushes,
+		Collisions: c.collisions,
+		Rebuilds:   c.rebuilds,
+		Grows:      c.grows,
+		Shrinks:    c.shrinks,
+		Occupancy:  make([]int, 9),
+		WidthLog:   append([]WidthChange(nil), c.widthLog...),
+	}
+	last := len(s.Occupancy) - 1
+	for i, b := range c.buckets {
+		d := len(b) - c.heads[i]
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		if d > last {
+			d = last
+		}
+		s.Occupancy[d]++
+	}
+	return s
 }

@@ -13,7 +13,8 @@ type Event struct {
 	fnU       func(uint64) // closure-free callback form; arg carries the operand
 	arg       uint64
 	name      string
-	index     int // queue position marker, -1 when not queued
+	index     int    // queue position marker, -1 when not queued
+	class     uint16 // observer class id, stamped at schedule time (see Obs)
 	cancelled bool
 	pooled    bool // fire-and-forget event; recycled after it fires
 }
@@ -78,6 +79,7 @@ type Engine struct {
 	dispatched uint64
 	running    bool
 	stop       bool
+	obs        *Obs // nil unless AttachObs was called; one nil check per hot path
 }
 
 // arenaChunk is how many events each arena block holds. Blocks are never
@@ -90,8 +92,15 @@ const arenaChunk = 128
 // SetDefaultQueue).
 func NewEngine() *Engine {
 	k := defaultQueue
-	return &Engine{q: newQueue(k), kind: k}
+	e := &Engine{q: newQueue(k), kind: k}
+	if engineHook != nil {
+		engineHook(e)
+	}
+	return e
 }
+
+// QueueStats snapshots the event queue's internal telemetry.
+func (e *Engine) QueueStats() QueueStats { return e.q.stats() }
 
 // QueueKind reports which event-queue implementation this engine uses.
 func (e *Engine) QueueKind() QueueKind { return e.kind }
@@ -129,6 +138,9 @@ func (e *Engine) alloc(t Time, name string, fn func(), fnU func(uint64), arg uin
 	}
 	*ev = Event{at: t, seq: e.seq, fn: fn, fnU: fnU, arg: arg, name: name, index: -1, pooled: pooled}
 	e.seq++
+	if e.obs != nil {
+		e.obs.onSchedule(ev, e.now)
+	}
 	e.q.push(ev)
 	return ev
 }
@@ -268,16 +280,25 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.dispatched++
-		fn, fnU, arg := ev.fn, ev.fnU, ev.arg
+		// Read the callback (and, when observed, the class stamped at
+		// schedule time) before recycling: a pooled event's allocation may
+		// be reused by a schedule issued from inside its own callback.
+		fn, fnU, arg, class := ev.fn, ev.fnU, ev.arg, ev.class
 		if ev.pooled {
 			// Recycle before firing so an event scheduled from inside fn
 			// reuses the hot allocation.
 			e.recycle(ev)
 		}
+		if e.obs != nil {
+			e.obs.beginDispatch(class)
+		}
 		if fnU != nil {
 			fnU(arg)
 		} else {
 			fn()
+		}
+		if e.obs != nil {
+			e.obs.endDispatch()
 		}
 		return true
 	}

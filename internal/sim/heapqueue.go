@@ -11,6 +11,12 @@ type heapQueue struct {
 
 func (h *heapQueue) size() int { return len(h.q) }
 
+// stats reports the little telemetry a heap has: its kind and size. The
+// calendar-specific structural counters stay zero.
+func (h *heapQueue) stats() QueueStats {
+	return QueueStats{Kind: QueueHeap.String(), Len: len(h.q)}
+}
+
 func (h *heapQueue) each(fn func(*Event)) {
 	for _, ev := range h.q {
 		fn(ev)
